@@ -1,0 +1,79 @@
+// Ablation: reclamation batching (paper §8).
+//   * Balloon: reporting more pages per virtqueue kick amortizes exits —
+//     the optimization HarvestVM applies to ballooning.
+//   * Squeezy: the per-chunk VM-exit cost (~3 ms per 128 MiB) bounds how
+//     much batching multi-partition unplugs could still save.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/squeezy.h"
+#include "src/guest/guest_kernel.h"
+#include "src/host/host_memory.h"
+#include "src/host/hypervisor.h"
+#include "src/metrics/table.h"
+
+namespace squeezy {
+namespace {
+
+constexpr uint64_t kReclaim = GiB(2);
+
+DurationNs BalloonWithBatch(uint32_t batch_pages) {
+  HostMemory host(GiB(32));
+  CostModel cost = CostModel::Default();
+  cost.balloon_batch_pages = batch_pages;
+  // Batching amortizes the exit round-trip but not the per-page host-side
+  // release (MADV_DONTNEED on 4 KiB): model the kick as the fixed part.
+  cost.balloon_exit_page = Usec(2.0) + Usec(6.2) / batch_pages;
+  Hypervisor hv(&host, &cost);
+  GuestConfig cfg;
+  cfg.name = "b";
+  cfg.base_memory = MiB(512);
+  cfg.hotplug_region = GiB(4);
+  cfg.seed = 61;
+  GuestKernel guest(cfg, &hv);
+  guest.PlugMemory(GiB(4), 0);
+  return guest.BalloonReclaim(kReclaim, 0).latency();
+}
+
+DurationNs SqueezyUnplugLatency() {
+  HostMemory host(GiB(32));
+  CostModel cost = CostModel::Default();
+  Hypervisor hv(&host, &cost);
+  SqueezyConfig scfg;
+  scfg.partition_bytes = kReclaim;
+  scfg.nr_partitions = 2;
+  scfg.shared_bytes = 0;
+  GuestConfig cfg;
+  cfg.name = "s";
+  cfg.base_memory = MiB(512);
+  cfg.hotplug_region = scfg.region_bytes();
+  cfg.seed = 62;
+  GuestKernel guest(cfg, &hv);
+  SqueezyManager sqz(&guest, scfg);
+  guest.PlugMemory(kReclaim, 0);
+  return guest.UnplugMemory(kReclaim, 0).latency();
+}
+
+}  // namespace
+}  // namespace squeezy
+
+int main() {
+  using namespace squeezy;
+  PrintBanner("Ablation: reclamation batching (§8)",
+              "batching page reports shrinks balloon's exit bill, but even an idealized "
+              "balloon stays far behind Squeezy's block-granular reclaim");
+
+  TablePrinter table({"Method", "Reclaim 2 GiB (ms)"});
+  for (const uint32_t batch : {1u, 32u, 256u, 512u}) {
+    table.AddRow({"Balloon, batch=" + std::to_string(batch),
+                  TablePrinter::Num(ToMsec(BalloonWithBatch(batch)))});
+  }
+  const DurationNs squeezy = SqueezyUnplugLatency();
+  table.AddRow({"Squeezy (16 chunk exits @~3ms)", TablePrinter::Num(ToMsec(squeezy))});
+  table.Print(std::cout);
+  std::cout << "\nPaper §8: batching is future work for Squeezy; the VM-exit share of its "
+               "unplug is already only ~3 ms per 128 MiB chunk.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation: vanilla virtio-mem unplug block-selection policy.
+//
+// Linux walks the device region by address (highest block first).  A
+// smarter baseline could rank candidate blocks by occupancy (fewest pages
+// to migrate first).  This ablation quantifies how much of Squeezy's win
+// a better vanilla heuristic could recover — and how much is structural
+// (interleaving means *every* block holds someone else's pages).
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/squeezy.h"
+#include "src/guest/guest_kernel.h"
+#include "src/host/host_memory.h"
+#include "src/host/hypervisor.h"
+#include "src/metrics/table.h"
+#include "src/trace/memhog.h"
+
+namespace squeezy {
+namespace {
+
+constexpr uint64_t kReclaim = GiB(1);
+constexpr int kTenants = 8;
+
+DurationNs VanillaUnplug(UnplugSelection selection, double occupancy) {
+  HostMemory host(GiB(32));
+  CostModel cost = CostModel::Default();
+  Hypervisor hv(&host, &cost);
+  GuestConfig cfg;
+  cfg.name = "v";
+  cfg.base_memory = MiB(512);
+  cfg.hotplug_region = kTenants * kReclaim;
+  cfg.seed = 41;
+  cfg.unplug_timeout = Minutes(5);
+  cfg.unplug_selection = selection;
+  GuestKernel guest(cfg, &hv);
+  guest.PlugMemory(cfg.hotplug_region, 0);
+  guest.movable_zone().ShuffleFreeLists(guest.rng());
+  std::vector<std::unique_ptr<Memhog>> hogs;
+  const uint64_t per_tenant =
+      static_cast<uint64_t>(static_cast<double>(kReclaim) * occupancy) - MiB(16);
+  for (int i = 0; i < kTenants; ++i) {
+    hogs.push_back(std::make_unique<Memhog>(&guest, MemhogConfig{per_tenant, 0.25, 3}));
+    hogs.back()->Start(0);
+  }
+  hogs[0]->Stop();
+  return guest.UnplugMemory(kReclaim, 0).latency();
+}
+
+DurationNs SqueezyUnplug() {
+  HostMemory host(GiB(32));
+  CostModel cost = CostModel::Default();
+  Hypervisor hv(&host, &cost);
+  SqueezyConfig scfg;
+  scfg.partition_bytes = kReclaim;
+  scfg.nr_partitions = kTenants;
+  scfg.shared_bytes = 0;
+  GuestConfig cfg;
+  cfg.name = "s";
+  cfg.base_memory = MiB(512);
+  cfg.hotplug_region = scfg.region_bytes();
+  cfg.seed = 42;
+  GuestKernel guest(cfg, &hv);
+  SqueezyManager sqz(&guest, scfg);
+  guest.PlugMemory(kReclaim, 0);
+  const Pid pid = guest.CreateProcess();
+  sqz.SqueezyEnable(pid);
+  guest.TouchAnon(pid, kReclaim - MiB(16), 0);
+  guest.Exit(pid);
+  return guest.UnplugMemory(kReclaim, 0).latency();
+}
+
+}  // namespace
+}  // namespace squeezy
+
+int main() {
+  using namespace squeezy;
+  PrintBanner("Ablation: unplug block selection",
+              "an occupancy-aware vanilla heuristic narrows but cannot close the gap: "
+              "interleaving leaves no empty blocks to pick");
+
+  TablePrinter table({"Occupancy", "Linux addr-order (ms)", "Emptiest-first (ms)",
+                      "Squeezy (ms)"});
+  const DurationNs squeezy = SqueezyUnplug();
+  for (const double occ : {0.35, 0.6, 0.9}) {
+    const DurationNs addr = VanillaUnplug(UnplugSelection::kAddressDescending, occ);
+    const DurationNs empt = VanillaUnplug(UnplugSelection::kEmptiestFirst, occ);
+    table.AddRow({Pct(occ), TablePrinter::Num(ToMsec(addr)), TablePrinter::Num(ToMsec(empt)),
+                  TablePrinter::Num(ToMsec(squeezy))});
+  }
+  table.Print(std::cout);
+  std::cout << "\nEven the oracle-ish emptiest-first baseline migrates: partitioning is what "
+               "removes migration entirely.\n";
+  return 0;
+}

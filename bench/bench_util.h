@@ -1,0 +1,34 @@
+// Shared helpers for the figure-reproduction benchmarks.
+#ifndef SQUEEZY_BENCH_BENCH_UTIL_H_
+#define SQUEEZY_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace squeezy {
+
+// Banner printed by every bench binary: which paper artifact it
+// regenerates and what to look for.
+inline void PrintBanner(const std::string& figure, const std::string& claim) {
+  std::cout << "==============================================================\n"
+            << "Reproduces: " << figure << "\n"
+            << "Paper claim: " << claim << "\n"
+            << "==============================================================\n";
+}
+
+inline std::string Pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * fraction);
+  return buf;
+}
+
+inline std::string Ratio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", r);
+  return buf;
+}
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_BENCH_BENCH_UTIL_H_

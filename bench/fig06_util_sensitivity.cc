@@ -1,0 +1,132 @@
+// Fig 6: latency to unplug 2 GiB from a 64 GiB VM while the utilization
+// of the rest of the memory grows.  Vanilla virtio-mem latency rises with
+// utilization (more occupied pages per reclaimed block -> more
+// migrations) and fluctuates due to random placement; Squeezy stays flat
+// at ~125 ms because it only ever unplugs empty partitions.
+//
+// As in the paper, page zeroing is disabled for vanilla virtio-mem here
+// to isolate the migration effect.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/squeezy.h"
+#include "src/guest/guest_kernel.h"
+#include "src/host/host_memory.h"
+#include "src/host/hypervisor.h"
+#include "src/metrics/csv.h"
+#include "src/metrics/table.h"
+#include "src/trace/memhog.h"
+
+namespace squeezy {
+namespace {
+
+constexpr uint64_t kVmMemory = GiB(64);
+constexpr uint64_t kReclaim = GiB(2);
+
+DurationNs VanillaUnplugAtUtilization(double utilization, uint64_t seed) {
+  HostMemory host(GiB(96));
+  CostModel cost = CostModel::NoZeroing();  // Isolate migrations (paper).
+  Hypervisor hv(&host, &cost);
+  GuestConfig cfg;
+  cfg.name = "virtio-vm";
+  cfg.base_memory = MiB(512);
+  cfg.hotplug_region = kVmMemory;
+  cfg.seed = seed;
+  cfg.unplug_timeout = Minutes(10);
+  GuestKernel guest(cfg, &hv);
+  guest.PlugMemory(kVmMemory, 0);
+  guest.movable_zone().ShuffleFreeLists(guest.rng());  // Steady-state scatter.
+
+  // Occupy `utilization` of the VM with churning memhogs (1 GiB each).
+  const uint64_t target = static_cast<uint64_t>(static_cast<double>(kVmMemory) * utilization);
+  std::vector<std::unique_ptr<Memhog>> hogs;
+  MemhogConfig mcfg;
+  mcfg.bytes = GiB(1);
+  mcfg.churn_fraction = 0.25;
+  mcfg.warmup_cycles = 2;
+  uint64_t occupied = 0;
+  while (occupied + mcfg.bytes <= target) {
+    hogs.push_back(std::make_unique<Memhog>(&guest, mcfg));
+    if (!hogs.back()->Start(0)) {
+      break;
+    }
+    occupied += mcfg.bytes;
+  }
+
+  const UnplugOutcome out = guest.UnplugMemory(kReclaim, 0);
+  if (!out.complete) {
+    std::cerr << "warning: vanilla unplug incomplete at utilization " << utilization << "\n";
+  }
+  return out.latency();
+}
+
+DurationNs SqueezyUnplugAtUtilization(double utilization) {
+  HostMemory host(GiB(96));
+  CostModel cost = CostModel::Default();
+  Hypervisor hv(&host, &cost);
+
+  SqueezyConfig scfg;
+  scfg.partition_bytes = kReclaim;  // 2 GiB partitions: one per "tenant".
+  scfg.nr_partitions = static_cast<uint32_t>(kVmMemory / kReclaim);
+  scfg.shared_bytes = 0;
+
+  GuestConfig cfg;
+  cfg.name = "squeezy-vm";
+  cfg.base_memory = MiB(512);
+  cfg.hotplug_region = scfg.region_bytes();
+  cfg.seed = 4;
+  GuestKernel guest(cfg, &hv);
+  SqueezyManager sqz(&guest, scfg);
+
+  // Populate all partitions; occupy a fraction of them with live tenants,
+  // leave (at least) one drained for the reclaim.
+  const uint32_t total = scfg.nr_partitions;
+  const uint32_t busy =
+      std::min(total - 1, static_cast<uint32_t>(utilization * static_cast<double>(total)));
+  for (uint32_t i = 0; i < total; ++i) {
+    guest.PlugMemory(kReclaim, 0);
+  }
+  for (uint32_t i = 0; i < busy; ++i) {
+    const Pid pid = guest.CreateProcess();
+    sqz.SqueezyEnable(pid);
+    guest.TouchAnon(pid, kReclaim - MiB(16), 0);
+  }
+
+  const UnplugOutcome out = guest.UnplugMemory(kReclaim, 0);
+  if (out.pages_migrated != 0 || !out.complete) {
+    std::cerr << "BUG: Squeezy unplug migrated or failed\n";
+    std::exit(1);
+  }
+  return out.latency();
+}
+
+}  // namespace
+}  // namespace squeezy
+
+int main() {
+  using namespace squeezy;
+  PrintBanner("Fig 6",
+              "vanilla virtio-mem unplug latency climbs (and jitters) with memory utilization; "
+              "Squeezy reclaims 2 GiB in ~125 ms regardless of load");
+
+  TablePrinter table({"Utilization", "Virtio-mem (ms)", "Squeezy (ms)"});
+  CsvWriter csv("bench_results/fig06_util_sensitivity.csv",
+                {"utilization_pct", "virtio_ms", "squeezy_ms"});
+
+  for (int pct = 0; pct <= 90; pct += 10) {
+    const double util = pct / 100.0;
+    const DurationNs vanilla = VanillaUnplugAtUtilization(util, 1000 + pct);
+    const DurationNs squeezy = SqueezyUnplugAtUtilization(util);
+    table.AddRow({std::to_string(pct) + "%", TablePrinter::Num(ToMsec(vanilla)),
+                  TablePrinter::Num(ToMsec(squeezy))});
+    csv.AddRow({std::to_string(pct), TablePrinter::Num(ToMsec(vanilla)),
+                TablePrinter::Num(ToMsec(squeezy))});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: virtio-mem rises steeply past ~20% utilization; Squeezy flat.\n"
+            << "CSV: bench_results/fig06_util_sensitivity.csv\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Memory-pressure scenario (§6.2.2 in miniature): two functions share a
+// host too small for both to peak at once.  One function's burst must
+// actively reclaim the other's idle instances — reclamation speed decides
+// how long the burst's cold starts stall.
+//
+// Runs the same scenario twice (vanilla virtio-mem vs Squeezy) and prints
+// the tail-latency and eviction counts side by side.
+//
+// Build & run:  ./build/examples/memory_pressure
+#include <algorithm>
+#include <cstdio>
+
+#include "src/faas/function.h"
+#include "src/faas/runtime.h"
+#include "src/trace/trace_gen.h"
+
+using namespace squeezy;
+
+namespace {
+
+struct Outcome {
+  DurationNs p99_a;
+  DurationNs p99_b;
+  uint64_t evictions;
+  uint64_t unplug_failures;
+};
+
+Outcome RunScenario(ReclaimPolicy policy) {
+  RuntimeConfig cfg;
+  cfg.policy = policy;
+  // Tight host: boot footprints + roughly one function's peak.
+  cfg.host_capacity = GiB(9);
+  cfg.keep_alive = Sec(90);
+  cfg.unplug_timeout = Sec(1);
+  cfg.pressure_check_period = Msec(500);
+  FaasRuntime runtime(cfg);
+  const int a = runtime.AddFunction(BfsSpec(), 8);
+  const int b = runtime.AddFunction(CnnSpec(), 8);
+
+  // Alternating bursts: A spikes, then B spikes while A idles, repeat.
+  std::vector<Invocation> trace;
+  Rng rng(3);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const TimeNs base = Minutes(2) * cycle;
+    for (int i = 0; i < 60; ++i) {
+      trace.push_back({base + static_cast<DurationNs>(rng.Uniform(0, 20e9)), a});
+      trace.push_back({base + Minutes(1) + static_cast<DurationNs>(rng.Uniform(0, 20e9)), b});
+    }
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const Invocation& x, const Invocation& y) { return x.at < y.at; });
+  runtime.SubmitTrace(trace);
+  runtime.RunUntil(Minutes(10));
+
+  return Outcome{runtime.agent(a).latencies().Percentile(99),
+                 runtime.agent(b).latencies().Percentile(99),
+                 runtime.agent(a).total_evictions() + runtime.agent(b).total_evictions(),
+                 runtime.total_unplug_failures()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Two functions, 11 GiB host, alternating bursts: every spike must reclaim\n"
+              "the other function's idle memory first.\n\n");
+  const Outcome vanilla = RunScenario(ReclaimPolicy::kVirtioMem);
+  const Outcome squeezy = RunScenario(ReclaimPolicy::kSqueezy);
+
+  std::printf("%-22s %14s %14s %10s %15s\n", "Method", "BFS P99", "CNN P99", "evictions",
+              "unplug failures");
+  std::printf("%-22s %14s %14s %10llu %15llu\n", "Vanilla virtio-mem",
+              FormatDuration(vanilla.p99_a).c_str(), FormatDuration(vanilla.p99_b).c_str(),
+              (unsigned long long)vanilla.evictions, (unsigned long long)vanilla.unplug_failures);
+  std::printf("%-22s %14s %14s %10llu %15llu\n", "Squeezy",
+              FormatDuration(squeezy.p99_a).c_str(), FormatDuration(squeezy.p99_b).c_str(),
+              (unsigned long long)squeezy.evictions, (unsigned long long)squeezy.unplug_failures);
+  std::printf("\nSqueezy's synchronous sub-100ms reclaim keeps burst cold starts from\n"
+              "stalling behind slow migrations (paper §6.2.2).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: the Squeezy lifecycle on one N:1 VM, end to end.
+//
+//   1. Boot a guest with Squeezy partitions (concurrency factor N=4).
+//   2. Plug one partition's worth of memory (a scale-up event).
+//   3. SqueezyEnable a process and touch memory (a function instance).
+//   4. Exit the process and unplug the drained partition — and observe
+//      that the reclaim involved zero page migrations.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/squeezy.h"
+#include "src/guest/guest_kernel.h"
+#include "src/host/host_memory.h"
+#include "src/host/hypervisor.h"
+
+using namespace squeezy;
+
+int main() {
+  // Host with 16 GiB and the default (paper-calibrated) cost model.
+  HostMemory host(GiB(16));
+  CostModel cost = CostModel::Default();
+  Hypervisor hypervisor(&host, &cost);
+
+  // A VM with 4 Squeezy partitions of 768 MiB (one per instance) and a
+  // 256 MiB shared partition for file-backed dependencies.
+  SqueezyConfig squeezy_cfg;
+  squeezy_cfg.partition_bytes = MiB(768);
+  squeezy_cfg.nr_partitions = 4;
+  squeezy_cfg.shared_bytes = MiB(256);
+
+  GuestConfig guest_cfg;
+  guest_cfg.name = "quickstart-vm";
+  guest_cfg.vcpus = 4;
+  guest_cfg.base_memory = MiB(512);
+  guest_cfg.hotplug_region = squeezy_cfg.region_bytes();
+  GuestKernel guest(guest_cfg, &hypervisor);
+  SqueezyManager squeezy(&guest, squeezy_cfg);
+
+  std::printf("Booted %s: %u partitions x %llu MiB + %llu MiB shared\n",
+              guest_cfg.name.c_str(), squeezy_cfg.nr_partitions,
+              (unsigned long long)(squeezy_cfg.partition_bytes / MiB(1)),
+              (unsigned long long)(squeezy_cfg.shared_bytes / MiB(1)));
+
+  // --- Scale up: plug one partition and deploy an instance ------------------
+  const PlugOutcome plug = guest.PlugMemory(squeezy_cfg.partition_bytes, /*now=*/0);
+  std::printf("Plugged %llu MiB in %s (paper: 35-45 ms)\n",
+              (unsigned long long)(plug.bytes_plugged / MiB(1)),
+              FormatDuration(plug.latency).c_str());
+
+  const Pid pid = guest.CreateProcess();
+  const auto partition = squeezy.SqueezyEnable(pid);
+  std::printf("SqueezyEnable(pid=%d) -> partition %d\n", pid, partition.value());
+
+  const int32_t deps = guest.CreateFile("runtime-deps", MiB(200));
+  const TouchResult file_touch = guest.TouchFile(pid, deps, MiB(200), 0);
+  const TouchResult anon_touch = guest.TouchAnon(pid, MiB(500), 0);
+  std::printf("Faulted %llu MiB file (shared partition) + %llu MiB anon in %s\n",
+              (unsigned long long)(file_touch.bytes / MiB(1)),
+              (unsigned long long)(anon_touch.bytes / MiB(1)),
+              FormatDuration(file_touch.latency + anon_touch.latency).c_str());
+  std::printf("Host now backs %llu MiB for this VM\n",
+              (unsigned long long)(hypervisor.stats(guest.vm_id()).populated_bytes / MiB(1)));
+
+  // --- Scale down: the instance exits; reclaim its partition ----------------
+  guest.Exit(pid);
+  const UnplugOutcome unplug = guest.UnplugMemory(squeezy_cfg.partition_bytes, 0);
+  std::printf("Unplugged %llu MiB in %s with %llu page migrations "
+              "(paper: ~10.9x faster than virtio-mem, zero migrations)\n",
+              (unsigned long long)(unplug.bytes_unplugged / MiB(1)),
+              FormatDuration(unplug.latency()).c_str(),
+              (unsigned long long)unplug.pages_migrated);
+  std::printf("Host backing after madvise: %llu MiB\n",
+              (unsigned long long)(hypervisor.stats(guest.vm_id()).populated_bytes / MiB(1)));
+  std::printf("Partition state: %s; reclaimed partitions so far: %llu\n",
+              PartitionStateName(squeezy.partition(partition.value()).state),
+              (unsigned long long)squeezy.stats().partitions_reclaimed);
+  return 0;
+}

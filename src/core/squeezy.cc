@@ -1,0 +1,270 @@
+#include "src/core/squeezy.h"
+
+#include <cassert>
+
+namespace squeezy {
+
+const char* PartitionStateName(PartitionState s) {
+  switch (s) {
+    case PartitionState::kUnplugged:
+      return "Unplugged";
+    case PartitionState::kPopulating:
+      return "Populating";
+    case PartitionState::kReady:
+      return "Ready";
+    case PartitionState::kAssigned:
+      return "Assigned";
+  }
+  return "?";
+}
+
+SqueezyManager::SqueezyManager(GuestKernel* guest, const SqueezyConfig& config)
+    : guest_(guest), config_(config) {
+  assert(guest_ != nullptr);
+  assert(config_.nr_partitions > 0);
+  assert(guest_->config().hotplug_region == config_.region_bytes() &&
+         "hotplug region must exactly hold the Squeezy layout");
+
+  // Zones are created up front at boot (paper §4.1): N private zone
+  // structs plus the shared one.  They link to empty partitions; no
+  // physical memory is reserved.
+  shared_first_block_ = guest_->hotplug_first_block();
+  shared_zone_ = guest_->CreateZone(ZoneType::kSqueezyShared, "SqueezyShared");
+
+  const uint32_t pblocks = static_cast<uint32_t>(config_.partition_blocks());
+  BlockIndex next = shared_first_block_ + static_cast<uint32_t>(config_.shared_blocks());
+  partitions_.reserve(config_.nr_partitions);
+  for (uint32_t i = 0; i < config_.nr_partitions; ++i) {
+    Partition part;
+    part.id = static_cast<int32_t>(i);
+    part.zone = guest_->CreateZone(ZoneType::kSqueezyPrivate,
+                                   "SqueezyPart" + std::to_string(i));
+    part.first_block = next;
+    part.nr_blocks = pblocks;
+    next += pblocks;
+    partitions_.push_back(part);
+  }
+
+  guest_->SetVirtioHooks(this);
+  guest_->SetLifecycleObserver(this);
+  // File mappings (container rootfs, runtimes) are served from the shared
+  // partition (paper §3: "distinguishing shared and private allocations").
+  guest_->SetFileZone(shared_zone_);
+
+  // The shared partition is populated at boot.
+  if (config_.shared_blocks() > 0) {
+    const PlugOutcome boot = guest_->PlugMemory(config_.shared_blocks() * kMemoryBlockBytes, 0);
+    assert(boot.complete);
+  }
+}
+
+int32_t SqueezyManager::PartitionOfBlock(BlockIndex b) const {
+  const BlockIndex priv_start =
+      shared_first_block_ + static_cast<BlockIndex>(config_.shared_blocks());
+  if (b < priv_start) {
+    return -1;
+  }
+  const uint32_t idx = (b - priv_start) / static_cast<uint32_t>(config_.partition_blocks());
+  return idx < partitions_.size() ? static_cast<int32_t>(idx) : -1;
+}
+
+uint32_t SqueezyManager::ready_partitions() const {
+  uint32_t n = 0;
+  for (const Partition& p : partitions_) {
+    if (p.state == PartitionState::kReady) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint32_t SqueezyManager::populated_partitions() const {
+  uint32_t n = 0;
+  for (const Partition& p : partitions_) {
+    if (p.populated_blocks > 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// --- Syscall interface ------------------------------------------------------------
+
+void SqueezyManager::Assign(Partition& part, Pid pid) {
+  assert(part.state == PartitionState::kReady && part.users == 0);
+  part.state = PartitionState::kAssigned;
+  part.users = 1;
+  Process& proc = guest_->process(pid);
+  proc.set_partition_id(part.id);
+  proc.set_anon_zone(part.zone);
+  ++stats_.assignments;
+}
+
+std::optional<int32_t> SqueezyManager::SqueezyEnable(Pid pid) {
+  // Scan the partition list for a populated, free partition (the paper
+  // scans the zonelist under per-partition locks).
+  for (Partition& part : partitions_) {
+    if (part.state == PartitionState::kReady) {
+      Assign(part, pid);
+      return part.id;
+    }
+  }
+  return std::nullopt;
+}
+
+void SqueezyManager::SqueezyEnableAsync(Pid pid, std::function<void(int32_t)> on_assigned) {
+  if (const std::optional<int32_t> id = SqueezyEnable(pid)) {
+    on_assigned(*id);
+    return;
+  }
+  // Park until a plug populates a partition (paper §4.1 waitqueue).  The
+  // sandbox setup (cgroups, network) proceeds concurrently in the agent.
+  waitqueue_.push_back(Waiter{pid, std::move(on_assigned)});
+  ++stats_.waitqueue_parks;
+}
+
+bool SqueezyManager::ServeWaitqueue(Partition& part) {
+  if (waitqueue_.empty()) {
+    return false;
+  }
+  Waiter waiter = std::move(waitqueue_.front());
+  waitqueue_.pop_front();
+  Assign(part, waiter.pid);
+  waiter.on_assigned(part.id);
+  return true;
+}
+
+// --- VirtioMemHooks -----------------------------------------------------------------
+
+std::vector<BlockIndex> SqueezyManager::SelectPlugBlocks(uint64_t max_blocks) {
+  std::vector<BlockIndex> out;
+  // Shared partition first (boot-time plug).
+  for (BlockIndex b = shared_first_block_;
+       b < shared_first_block_ + config_.shared_blocks() && out.size() < max_blocks; ++b) {
+    if (guest_->memmap().block_state(b) == BlockState::kAbsent) {
+      out.push_back(b);
+    }
+  }
+  // Then whole unplugged/partially-plugged private partitions, in order.
+  for (Partition& part : partitions_) {
+    if (out.size() >= max_blocks) {
+      break;
+    }
+    if (part.state != PartitionState::kUnplugged && part.state != PartitionState::kPopulating) {
+      continue;
+    }
+    for (BlockIndex b = part.first_block;
+         b < part.first_block + part.nr_blocks && out.size() < max_blocks; ++b) {
+      if (guest_->memmap().block_state(b) == BlockState::kAbsent) {
+        out.push_back(b);
+      }
+    }
+  }
+  return out;
+}
+
+Zone* SqueezyManager::OnlineTargetZone(BlockIndex b) {
+  const int32_t id = PartitionOfBlock(b);
+  return id < 0 ? shared_zone_ : partitions_[static_cast<size_t>(id)].zone;
+}
+
+void SqueezyManager::OnBlockOnline(BlockIndex b) {
+  const int32_t id = PartitionOfBlock(b);
+  if (id < 0) {
+    return;  // Shared partition: nothing to track.
+  }
+  Partition& part = partitions_[static_cast<size_t>(id)];
+  assert(part.state == PartitionState::kUnplugged || part.state == PartitionState::kPopulating);
+  ++part.populated_blocks;
+  if (part.populated_blocks < part.nr_blocks) {
+    part.state = PartitionState::kPopulating;
+    return;
+  }
+  // Fully populated: hand it to the longest waiter or mark it ready.
+  part.state = PartitionState::kReady;
+  ServeWaitqueue(part);
+}
+
+std::vector<BlockIndex> SqueezyManager::SelectUnplugBlocks(uint64_t max_blocks) {
+  // Only blocks of fully-drained partitions are candidates; they are empty
+  // by construction, so unplug involves zero migrations.
+  std::vector<BlockIndex> out;
+  for (Partition& part : partitions_) {
+    if (out.size() >= max_blocks) {
+      break;
+    }
+    if (part.state != PartitionState::kReady || part.populated_blocks == 0) {
+      continue;
+    }
+    assert(part.zone->allocated_pages() == 0 && "ready partition must be empty");
+    for (BlockIndex b = part.first_block;
+         b < part.first_block + part.nr_blocks && out.size() < max_blocks; ++b) {
+      if (guest_->memmap().block_state(b) == BlockState::kOnline) {
+        out.push_back(b);
+      }
+    }
+  }
+  return out;
+}
+
+OfflineOptions SqueezyManager::OfflineOptionsFor(BlockIndex b) {
+  (void)b;
+  // Squeezy's two unplug-path optimizations (paper §4.1): no migrations
+  // are ever needed (enforced, not hoped for), and zeroing of offlining
+  // pages is skipped — the host re-zeroes on next allocation anyway.
+  return OfflineOptions{/*skip_zeroing=*/true, /*allow_migration=*/false};
+}
+
+Zone* SqueezyManager::BlockZone(BlockIndex b) {
+  return OnlineTargetZone(b);
+}
+
+Zone* SqueezyManager::MigrationTarget(BlockIndex b) {
+  (void)b;
+  return nullptr;  // Migration is forbidden on the Squeezy unplug path.
+}
+
+void SqueezyManager::OnBlockUnplugged(BlockIndex b) {
+  const int32_t id = PartitionOfBlock(b);
+  assert(id >= 0 && "the shared partition is never unplugged");
+  Partition& part = partitions_[static_cast<size_t>(id)];
+  assert(part.populated_blocks > 0);
+  --part.populated_blocks;
+  if (part.populated_blocks == 0) {
+    part.state = PartitionState::kUnplugged;
+    ++stats_.partitions_reclaimed;
+  }
+}
+
+// --- ProcessLifecycleObserver ----------------------------------------------------------
+
+void SqueezyManager::OnFork(Process& parent, Process& child) {
+  (void)child;
+  if (parent.partition_id() == kNoPartition) {
+    return;
+  }
+  Partition& part = partitions_[static_cast<size_t>(parent.partition_id())];
+  assert(part.state == PartitionState::kAssigned && part.users > 0);
+  ++part.users;
+}
+
+void SqueezyManager::OnExit(Process& proc) {
+  if (proc.partition_id() == kNoPartition) {
+    return;
+  }
+  Partition& part = partitions_[static_cast<size_t>(proc.partition_id())];
+  assert(part.state == PartitionState::kAssigned && part.users > 0);
+  --part.users;
+  if (part.users > 0) {
+    return;
+  }
+  // Last user gone: the partition is empty again (its anonymous memory was
+  // freed on exit) and becomes free — i.e. assignable or reclaimable.
+  assert(part.zone->allocated_pages() == 0 && "drained partition must hold no pages");
+  part.state = PartitionState::kReady;
+  if (ServeWaitqueue(part)) {
+    ++stats_.reuse_without_replug;
+  }
+}
+
+}  // namespace squeezy

@@ -1,0 +1,143 @@
+// Squeezy: partition-aware guest memory management (the paper's core
+// contribution, §3-§4).
+//
+// The hot-pluggable region of an N:1 FaaS VM is statically laid out as
+//
+//   [ shared partition | private partition 0 | ... | private partition N-1 ]
+//
+// Each private partition is its own zone sized to the function's memory
+// limit; the shared partition backs file (page-cache) memory for every
+// instance.  Partitions hold no physical memory until plugged; a plug
+// event populates exactly the partitions the manager selects, and unplug
+// instantly offlines partitions whose user refcount dropped to zero —
+// with migration *forbidden* (asserted) and zeroing skipped.
+//
+// The syscall-like interface (SqueezyEnable) assigns a populated, free
+// partition to a process; requests that arrive before a plug completes
+// park on a waitqueue (paper §4.1).
+#ifndef SQUEEZY_CORE_SQUEEZY_H_
+#define SQUEEZY_CORE_SQUEEZY_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/guest/guest_kernel.h"
+#include "src/hotplug/virtio_mem.h"
+#include "src/mm/zone.h"
+#include "src/sim/cost_model.h"
+
+namespace squeezy {
+
+struct SqueezyConfig {
+  // Rated size of each private partition = the function's user-defined
+  // memory limit, rounded up to whole 128 MiB blocks.
+  uint64_t partition_bytes = MiB(768);
+  // Concurrency factor N: max instances concurrently deployable.
+  uint32_t nr_partitions = 8;
+  // Shared partition (runtime/language dependencies), plugged at boot.
+  uint64_t shared_bytes = MiB(512);
+
+  uint64_t partition_blocks() const { return BytesToBlocks(partition_bytes); }
+  uint64_t shared_blocks() const { return BytesToBlocks(shared_bytes); }
+  uint64_t region_bytes() const {
+    return (shared_blocks() + nr_partitions * partition_blocks()) * kMemoryBlockBytes;
+  }
+};
+
+enum class PartitionState : uint8_t {
+  kUnplugged,   // No blocks online.
+  kPopulating,  // Some blocks online (plug in flight).
+  kReady,       // Fully populated, no users: assignable AND reclaimable.
+  kAssigned,    // Backing one or more live processes.
+};
+
+const char* PartitionStateName(PartitionState s);
+
+struct Partition {
+  int32_t id = -1;
+  PartitionState state = PartitionState::kUnplugged;
+  Zone* zone = nullptr;
+  BlockIndex first_block = 0;
+  uint32_t nr_blocks = 0;
+  uint32_t populated_blocks = 0;
+  uint32_t users = 0;  // partition_users refcount (processes attached).
+};
+
+struct SqueezyStats {
+  uint64_t assignments = 0;
+  uint64_t waitqueue_parks = 0;    // Requests that had to wait for a plug.
+  uint64_t partitions_reclaimed = 0;
+  uint64_t reuse_without_replug = 0;  // Drained partition handed straight to a waiter.
+};
+
+class SqueezyManager : public VirtioMemHooks, public ProcessLifecycleObserver {
+ public:
+  // Installs itself as the guest's virtio-mem policy and lifecycle
+  // observer, lays out the partitions and plugs the shared partition.
+  // Requires guest->config().hotplug_region == config.region_bytes().
+  SqueezyManager(GuestKernel* guest, const SqueezyConfig& config);
+
+  // --- Syscall interface (paper §4.1) ---------------------------------------
+  // Assigns a populated free partition to `pid` if one exists.
+  std::optional<int32_t> SqueezyEnable(Pid pid);
+  // Like SqueezyEnable, but parks the request on the waitqueue when no
+  // partition is ready; `on_assigned` fires (synchronously, from the plug
+  // path) once one is.
+  void SqueezyEnableAsync(Pid pid, std::function<void(int32_t)> on_assigned);
+
+  // --- Introspection -----------------------------------------------------------
+  const SqueezyConfig& config() const { return config_; }
+  const Partition& partition(int32_t id) const { return partitions_[static_cast<size_t>(id)]; }
+  size_t partition_count() const { return partitions_.size(); }
+  Zone* shared_zone() { return shared_zone_; }
+  // Partitions currently kReady (assignable / reclaimable).
+  uint32_t ready_partitions() const;
+  // Partitions currently holding memory (populated_blocks > 0).
+  uint32_t populated_partitions() const;
+  size_t waitqueue_depth() const { return waitqueue_.size(); }
+  const SqueezyStats& stats() const { return stats_; }
+
+  // Partition owning `b`, or -1 for the shared partition / out of range.
+  int32_t PartitionOfBlock(BlockIndex b) const;
+
+  // --- VirtioMemHooks ------------------------------------------------------------
+  std::vector<BlockIndex> SelectPlugBlocks(uint64_t max_blocks) override;
+  Zone* OnlineTargetZone(BlockIndex b) override;
+  void OnBlockOnline(BlockIndex b) override;
+  std::vector<BlockIndex> SelectUnplugBlocks(uint64_t max_blocks) override;
+  OfflineOptions OfflineOptionsFor(BlockIndex b) override;
+  Zone* BlockZone(BlockIndex b) override;
+  Zone* MigrationTarget(BlockIndex b) override;
+  void OnBlockUnplugged(BlockIndex b) override;
+
+  // --- ProcessLifecycleObserver -----------------------------------------------------
+  void OnFork(Process& parent, Process& child) override;
+  void OnExit(Process& proc) override;
+
+ private:
+  struct Waiter {
+    Pid pid;
+    std::function<void(int32_t)> on_assigned;
+  };
+
+  void Assign(Partition& part, Pid pid);
+  // Hands a ready partition to the longest-waiting parked request, if any.
+  // Returns true if a waiter consumed it.
+  bool ServeWaitqueue(Partition& part);
+
+  GuestKernel* guest_;
+  SqueezyConfig config_;
+  Zone* shared_zone_ = nullptr;
+  BlockIndex shared_first_block_ = 0;
+  std::vector<Partition> partitions_;
+  std::deque<Waiter> waitqueue_;
+  SqueezyStats stats_;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_CORE_SQUEEZY_H_

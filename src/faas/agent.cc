@@ -1,0 +1,338 @@
+#include "src/faas/agent.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace squeezy {
+
+Agent::Agent(EventQueue* events, GuestKernel* guest, SqueezyManager* sqz, FunctionSpec spec,
+             const AgentConfig& config, AgentCallbacks callbacks, uint64_t seed)
+    : events_(events),
+      guest_(guest),
+      sqz_(sqz),
+      spec_(std::move(spec)),
+      config_(config),
+      callbacks_(std::move(callbacks)),
+      rng_(seed) {
+  assert(events_ != nullptr && guest_ != nullptr);
+  assert(!config_.use_squeezy || sqz_ != nullptr);
+  deps_file_ = guest_->CreateFile(spec_.name + "-deps", spec_.file_deps_bytes);
+}
+
+// --- Processor-sharing scheduler ---------------------------------------------
+
+double Agent::CurrentRate() const {
+  if (instance_demand_ <= 0) {
+    return 1.0;
+  }
+  // Kernel threads preempt instance work: they run at full priority, so
+  // instances share what is left of the vCPUs.
+  const double available =
+      std::max(0.05, static_cast<double>(config_.vcpus) - kernel_threads_busy_);
+  return std::min(1.0, available / instance_demand_);
+}
+
+void Agent::UpdateProgressAndCancel() {
+  const double rate = CurrentRate();
+  const TimeNs now = events_->now();
+  for (auto& [id, item] : work_) {
+    (void)id;
+    item.remaining -= ToSec(now - item.last_update) * rate;
+    if (item.remaining < 0) {
+      item.remaining = 0;
+    }
+    item.last_update = now;
+    if (item.completion != kInvalidEventId) {
+      events_->Cancel(item.completion);
+      item.completion = kInvalidEventId;
+    }
+  }
+}
+
+void Agent::RescheduleAll() {
+  const double rate = CurrentRate();
+  for (auto& [id, item] : work_) {
+    assert(item.completion == kInvalidEventId);
+    const DurationNs eta = Sec(item.remaining / rate);
+    const uint64_t wid = id;
+    item.completion = events_->ScheduleAfter(std::max<DurationNs>(eta, 0),
+                                             [this, wid] { CompleteWork(wid); });
+  }
+}
+
+uint64_t Agent::StartWork(double share, DurationNs work, std::function<void()> on_done) {
+  UpdateProgressAndCancel();
+  const uint64_t id = next_work_id_++;
+  WorkItem item;
+  item.share = share;
+  item.remaining = ToSec(std::max<DurationNs>(work, 0));
+  item.last_update = events_->now();
+  item.on_done = std::move(on_done);
+  work_.emplace(id, std::move(item));
+  instance_demand_ += share;
+  RescheduleAll();
+  return id;
+}
+
+void Agent::CompleteWork(uint64_t id) {
+  auto it = work_.find(id);
+  assert(it != work_.end());
+  it->second.completion = kInvalidEventId;  // Our event just fired.
+  UpdateProgressAndCancel();
+  std::function<void()> on_done = std::move(it->second.on_done);
+  instance_demand_ -= it->second.share;
+  if (instance_demand_ < 1e-12) {
+    instance_demand_ = 0;
+  }
+  work_.erase(it);
+  RescheduleAll();
+  on_done();
+}
+
+void Agent::AddKernelInterference(DurationNs duration) {
+  if (duration <= 0) {
+    return;
+  }
+  UpdateProgressAndCancel();
+  ++kernel_threads_busy_;
+  RescheduleAll();
+  events_->ScheduleAfter(duration, [this] {
+    UpdateProgressAndCancel();
+    --kernel_threads_busy_;
+    RescheduleAll();
+  });
+}
+
+// --- Instance lifecycle -----------------------------------------------------------
+
+size_t Agent::idle_instances() const {
+  size_t n = 0;
+  for (const auto& inst : instances_) {
+    n += (inst->state == InstanceState::kIdle);
+  }
+  return n;
+}
+
+size_t Agent::busy_instances() const {
+  size_t n = 0;
+  for (const auto& inst : instances_) {
+    n += (inst->state == InstanceState::kBusy);
+  }
+  return n;
+}
+
+size_t Agent::live_instances() const {
+  size_t n = 0;
+  for (const auto& inst : instances_) {
+    n += (inst->state != InstanceState::kEvicted);
+  }
+  return n;
+}
+
+void Agent::Submit() {
+  queue_.push_back(events_->now());
+  DispatchQueue();
+  MaybeSpawn();
+}
+
+void Agent::MaybeSpawn() {
+  while (spawning_ < queue_.size() && live_instances() < config_.max_concurrency) {
+    const int32_t id = static_cast<int32_t>(instances_.size());
+    instances_.push_back(std::make_unique<Instance>());
+    instance(id).id = id;
+    instance(id).state = InstanceState::kWaitingMemory;
+    ++spawning_;
+    ++spawns_;
+    instance_series_.Push(events_->now(), static_cast<double>(live_instances()));
+    // Ask the host runtime for memory (admission + plug); the reply may
+    // arrive much later when host memory is scarce.
+    callbacks_.acquire_memory(
+        [this, id](DurationNs vmm_latency) { OnMemoryReady(id, vmm_latency); });
+  }
+}
+
+void Agent::OnMemoryReady(int32_t instance_id, DurationNs vmm_latency) {
+  Instance& inst = instance(instance_id);
+  assert(inst.state == InstanceState::kWaitingMemory);
+  inst.cold.vmm = vmm_latency;
+  inst.state = InstanceState::kColdStart;
+  inst.pid = guest_->CreateProcess();
+  guest_->process(inst.pid).MapFile(deps_file_);
+  if (config_.use_squeezy) {
+    // The syscall interface: park on the waitqueue if the plug has not
+    // populated a partition yet (§4.1).  The runtime couples plug events
+    // with spawns, so in practice this fires immediately.
+    sqz_->SqueezyEnableAsync(inst.pid, [this, instance_id](int32_t) {
+      RunColdPhases(instance_id);
+    });
+  } else {
+    RunColdPhases(instance_id);
+  }
+}
+
+void Agent::RunColdPhases(int32_t instance_id) {
+  Instance& inst = instance(instance_id);
+  const TimeNs container_start = events_->now();
+
+  // Container init: sandbox setup + rootfs reads.  In the N:1 model the
+  // rootfs is usually already in the shared guest page cache — that is
+  // where the paper's 1.33x container-init speedup comes from.
+  const uint64_t rootfs_bytes =
+      static_cast<uint64_t>(static_cast<double>(spec_.file_deps_bytes) * spec_.rootfs_fraction);
+  const TouchResult rootfs = guest_->TouchFile(inst.pid, deps_file_, rootfs_bytes, container_start);
+  StartWork(1.0, spec_.container_init_cpu + rootfs.latency, [this, instance_id, container_start] {
+    Instance& i = instance(instance_id);
+    i.cold.container_init = events_->now() - container_start;
+
+    // Function init: language runtime + model load + initial anon faults.
+    const TimeNs init_start = events_->now();
+    const TouchResult deps = guest_->TouchFile(i.pid, deps_file_, spec_.file_deps_bytes, init_start);
+    const uint64_t init_anon = static_cast<uint64_t>(
+        static_cast<double>(spec_.anon_working_set) * spec_.init_anon_fraction);
+    const TouchResult anon = guest_->TouchAnon(i.pid, init_anon, init_start);
+    if (anon.oom) {
+      // The instance blew its partition / the VM: reap it.
+      i.state = InstanceState::kEvicted;
+      assert(spawning_ > 0);
+      --spawning_;
+      callbacks_.release_memory();
+      MaybeSpawn();
+      return;
+    }
+    i.anon_touched = anon.bytes;
+    StartWork(1.0, spec_.function_init_cpu + deps.latency + anon.latency,
+              [this, instance_id, init_start] {
+                Instance& j = instance(instance_id);
+                j.cold.function_init = events_->now() - init_start;
+                assert(spawning_ > 0);
+                --spawning_;
+                BecomeIdle(instance_id);
+              });
+  });
+}
+
+void Agent::BecomeIdle(int32_t instance_id) {
+  Instance& inst = instance(instance_id);
+  inst.state = InstanceState::kIdle;
+  inst.idle_since = events_->now();
+  ScheduleKeepAlive(instance_id);
+  instance_series_.Push(events_->now(), static_cast<double>(live_instances()));
+  DispatchQueue();
+}
+
+void Agent::DispatchQueue() {
+  while (!queue_.empty()) {
+    // Most recently idled instance first (warm caches).
+    int32_t best = -1;
+    for (const auto& inst : instances_) {
+      if (inst->state == InstanceState::kIdle &&
+          (best < 0 || inst->idle_since > instance(best).idle_since)) {
+        best = inst->id;
+      }
+    }
+    if (best < 0) {
+      return;
+    }
+    const TimeNs arrival = queue_.front();
+    queue_.pop_front();
+    StartExec(best, arrival);
+  }
+}
+
+void Agent::StartExec(int32_t instance_id, TimeNs arrival) {
+  Instance& inst = instance(instance_id);
+  assert(inst.state == InstanceState::kIdle);
+  if (inst.keepalive_event != kInvalidEventId) {
+    events_->Cancel(inst.keepalive_event);
+    inst.keepalive_event = kInvalidEventId;
+  }
+  inst.state = InstanceState::kBusy;
+
+  const TimeNs exec_start = events_->now();
+  DurationNs work = static_cast<DurationNs>(
+      rng_.LogNormal(static_cast<double>(spec_.exec_cpu_mean), spec_.exec_cv));
+  const bool cold = !inst.first_exec_done;
+  if (cold) {
+    // First execution touches the rest of the anonymous working set.
+    const uint64_t rest = spec_.anon_working_set - inst.anon_touched;
+    const TouchResult anon = guest_->TouchAnon(inst.pid, rest, exec_start);
+    if (anon.oom) {
+      inst.state = InstanceState::kEvicted;
+      callbacks_.release_memory();
+      return;
+    }
+    work += anon.latency;
+  }
+  // Hot-path file pages re-read per request (cached: remap cost only).
+  const uint64_t exec_file = static_cast<uint64_t>(
+      static_cast<double>(spec_.file_deps_bytes) * spec_.exec_file_fraction);
+  work += guest_->TouchFile(inst.pid, deps_file_, exec_file, exec_start).latency;
+
+  StartWork(spec_.vcpu_shares, work, [this, instance_id, arrival, exec_start, cold] {
+    Instance& i = instance(instance_id);
+    RequestRecord rec;
+    rec.arrival = arrival;
+    rec.done = events_->now();
+    rec.cold = cold;
+    records_.push_back(rec);
+    latencies_.Record(rec.latency());
+    if (cold) {
+      i.first_exec_done = true;
+      i.cold.first_exec = events_->now() - exec_start;
+      cold_starts_.push_back(i.cold);
+    }
+    BecomeIdle(instance_id);
+  });
+}
+
+void Agent::ScheduleKeepAlive(int32_t instance_id) {
+  Instance& inst = instance(instance_id);
+  inst.keepalive_event = events_->ScheduleAfter(config_.keep_alive, [this, instance_id] {
+    Instance& i = instance(instance_id);
+    i.keepalive_event = kInvalidEventId;
+    if (i.state == InstanceState::kIdle) {
+      Evict(instance_id);
+    }
+  });
+}
+
+void Agent::Evict(int32_t instance_id) {
+  Instance& inst = instance(instance_id);
+  assert(inst.state == InstanceState::kIdle);
+  if (inst.keepalive_event != kInvalidEventId) {
+    events_->Cancel(inst.keepalive_event);
+    inst.keepalive_event = kInvalidEventId;
+  }
+  guest_->Exit(inst.pid);
+  inst.state = InstanceState::kEvicted;
+  ++evictions_;
+  instance_series_.Push(events_->now(), static_cast<double>(live_instances()));
+  callbacks_.release_memory();
+}
+
+TimeNs Agent::OldestIdleSince() const {
+  TimeNs best = -1;
+  for (const auto& inst : instances_) {
+    if (inst->state == InstanceState::kIdle && (best < 0 || inst->idle_since < best)) {
+      best = inst->idle_since;
+    }
+  }
+  return best;
+}
+
+bool Agent::EvictOldestIdle() {
+  int32_t oldest = -1;
+  for (const auto& inst : instances_) {
+    if (inst->state == InstanceState::kIdle &&
+        (oldest < 0 || inst->idle_since < instance(oldest).idle_since)) {
+      oldest = inst->id;
+    }
+  }
+  if (oldest < 0) {
+    return false;
+  }
+  Evict(oldest);
+  return true;
+}
+
+}  // namespace squeezy

@@ -1,0 +1,181 @@
+// The in-VM dispatcher ("Agent", paper §4.2/§6.2).
+//
+// Receives invocations for one function, reuses idle instances
+// (keep-alive), spawns new instances on demand (cold start), evicts idle
+// ones when the keep-alive window expires, and shares the VM's vCPUs
+// among running work using a processor-sharing model.  Kernel threads
+// (the virtio-mem worker migrating pages during unplug) register their
+// demand here, which is how unplug interference reaches request latency
+// (paper Fig 9).
+#ifndef SQUEEZY_FAAS_AGENT_H_
+#define SQUEEZY_FAAS_AGENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/squeezy.h"
+#include "src/faas/function.h"
+#include "src/guest/guest_kernel.h"
+#include "src/metrics/latency_recorder.h"
+#include "src/metrics/time_series.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+
+namespace squeezy {
+
+struct ColdStartBreakdown {
+  DurationNs vmm = 0;             // Plug latency (N:1) or microVM boot (1:1).
+  DurationNs container_init = 0;  // Sandbox setup (wall, incl. contention).
+  DurationNs function_init = 0;   // Runtime/model init.
+  DurationNs first_exec = 0;      // First request execution.
+
+  DurationNs total() const { return vmm + container_init + function_init + first_exec; }
+};
+
+struct RequestRecord {
+  TimeNs arrival = 0;
+  TimeNs done = 0;
+  bool cold = false;
+
+  DurationNs latency() const { return done - arrival; }
+};
+
+enum class InstanceState : uint8_t {
+  kWaitingMemory,  // Scale-up admitted, waiting for plug/boot.
+  kColdStart,      // Running container/function init.
+  kIdle,
+  kBusy,
+  kEvicted,
+};
+
+struct AgentConfig {
+  uint32_t max_concurrency = 8;       // N of the N:1 VM.
+  uint32_t vcpus = 8;
+  DurationNs keep_alive = Minutes(2); // Paper §6.2: 2-minute window.
+  bool use_squeezy = false;           // Assign instances to Squeezy partitions.
+};
+
+// Runtime-side hooks: memory acquisition/release crosses the VM boundary.
+struct AgentCallbacks {
+  // Secure memory for one new instance (admission + plug).  Must invoke
+  // `ready(vmm_latency)` once the memory is available — possibly much
+  // later under host memory pressure.
+  std::function<void(std::function<void(DurationNs)> ready)> acquire_memory;
+  // An instance was evicted and its process exited; reclaim its memory.
+  std::function<void()> release_memory;
+};
+
+class Agent {
+ public:
+  Agent(EventQueue* events, GuestKernel* guest, SqueezyManager* sqz, FunctionSpec spec,
+        const AgentConfig& config, AgentCallbacks callbacks, uint64_t seed);
+
+  // One invocation arriving now.
+  void Submit();
+
+  // Registers kernel-thread CPU demand (e.g. the virtio-mem worker doing
+  // unplug migrations) for `duration` starting now: running requests slow
+  // down proportionally.
+  void AddKernelInterference(DurationNs duration);
+
+  // Evicts the longest-idle instance immediately (proactive reclamation /
+  // memory pressure).  Returns false if no instance is idle.
+  bool EvictOldestIdle();
+
+  // Idle-since time of the longest-idle instance, or -1 if none is idle.
+  TimeNs OldestIdleSince() const;
+
+  // --- Introspection ------------------------------------------------------------
+  size_t idle_instances() const;
+  size_t busy_instances() const;
+  size_t live_instances() const;  // idle + busy + starting.
+  size_t queued_requests() const { return queue_.size(); }
+  const FunctionSpec& spec() const { return spec_; }
+  const AgentConfig& config() const { return config_; }
+
+  // --- Metrics --------------------------------------------------------------------
+  const std::vector<RequestRecord>& requests() const { return records_; }
+  LatencyRecorder& latencies() { return latencies_; }
+  const std::vector<ColdStartBreakdown>& cold_starts() const { return cold_starts_; }
+  const StepSeries& instance_series() const { return instance_series_; }
+  uint64_t total_evictions() const { return evictions_; }
+  uint64_t total_spawns() const { return spawns_; }
+
+ private:
+  struct Instance {
+    int32_t id = -1;
+    InstanceState state = InstanceState::kWaitingMemory;
+    Pid pid = kNoPid;
+    TimeNs idle_since = 0;
+    EventId keepalive_event = kInvalidEventId;
+    ColdStartBreakdown cold;
+    bool first_exec_done = false;
+    uint64_t anon_touched = 0;
+  };
+
+  struct WorkItem {
+    double share = 1.0;    // vCPU demand while running.
+    double remaining = 0;  // Seconds of wall-work left at rate 1.
+    TimeNs last_update = 0;
+    EventId completion = kInvalidEventId;
+    std::function<void()> on_done;
+  };
+
+  // --- Scheduler -----------------------------------------------------------------
+  // Current progress rate for instance work: min(1, cpus_left / demand).
+  double CurrentRate() const;
+  // Applies the current rate to every item's remaining work and cancels
+  // their pending completion events (call before any demand change).
+  void UpdateProgressAndCancel();
+  // Schedules fresh completion events under the current rate.
+  void RescheduleAll();
+  uint64_t StartWork(double share, DurationNs work, std::function<void()> on_done);
+  void CompleteWork(uint64_t id);
+
+  // --- Lifecycle -----------------------------------------------------------------
+  void MaybeSpawn();
+  void OnMemoryReady(int32_t instance_id, DurationNs vmm_latency);
+  void RunColdPhases(int32_t instance_id);
+  void BecomeIdle(int32_t instance_id);
+  void DispatchQueue();
+  void StartExec(int32_t instance_id, TimeNs arrival);
+  void ScheduleKeepAlive(int32_t instance_id);
+  void Evict(int32_t instance_id);
+
+  Instance& instance(int32_t id) { return *instances_[static_cast<size_t>(id)]; }
+
+  EventQueue* events_;
+  GuestKernel* guest_;
+  SqueezyManager* sqz_;  // Null for vanilla / static VMs.
+  FunctionSpec spec_;
+  AgentConfig config_;
+  AgentCallbacks callbacks_;
+  Rng rng_;
+  int32_t deps_file_ = -1;
+
+  std::vector<std::unique_ptr<Instance>> instances_;
+  std::deque<TimeNs> queue_;  // Arrival times of waiting requests.
+  size_t spawning_ = 0;
+
+  // Processor-sharing state.
+  std::map<uint64_t, WorkItem> work_;
+  uint64_t next_work_id_ = 1;
+  double instance_demand_ = 0;  // Sum of shares of running work items.
+  int kernel_threads_busy_ = 0;
+
+  // Metrics.
+  std::vector<RequestRecord> records_;
+  LatencyRecorder latencies_;
+  std::vector<ColdStartBreakdown> cold_starts_;
+  StepSeries instance_series_;
+  uint64_t evictions_ = 0;
+  uint64_t spawns_ = 0;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_FAAS_AGENT_H_

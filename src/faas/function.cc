@@ -1,0 +1,77 @@
+#include "src/faas/function.h"
+
+namespace squeezy {
+
+FunctionSpec HtmlSpec() {
+  FunctionSpec s;
+  s.name = "Html";
+  s.vcpu_shares = 0.25;
+  s.memory_limit = MiB(768);
+  s.anon_working_set = MiB(240);
+  s.file_deps_bytes = MiB(260);
+  s.container_init_cpu = Msec(550);
+  s.function_init_cpu = Msec(650);
+  s.exec_cpu_mean = Msec(140);
+  s.exec_cv = 0.25;
+  s.rootfs_fraction = 0.35;  // Web stacks are rootfs-heavy.
+  s.init_anon_fraction = 0.55;
+  s.exec_file_fraction = 0.06;
+  return s;
+}
+
+FunctionSpec CnnSpec() {
+  FunctionSpec s;
+  s.name = "Cnn";
+  s.vcpu_shares = 1.0;
+  s.memory_limit = MiB(768);
+  s.anon_working_set = MiB(340);
+  s.file_deps_bytes = MiB(380);  // Framework + model weights.
+  s.container_init_cpu = Msec(600);
+  s.function_init_cpu = Msec(1150);
+  s.exec_cpu_mean = Msec(450);
+  s.exec_cv = 0.20;
+  s.rootfs_fraction = 0.25;
+  s.init_anon_fraction = 0.65;
+  s.exec_file_fraction = 0.05;
+  return s;
+}
+
+FunctionSpec BfsSpec() {
+  FunctionSpec s;
+  s.name = "BFS";
+  s.vcpu_shares = 1.0;
+  s.memory_limit = MiB(768);
+  s.anon_working_set = MiB(520);  // Graph lives in anonymous memory.
+  s.file_deps_bytes = MiB(140);
+  s.container_init_cpu = Msec(560);
+  s.function_init_cpu = Msec(480);
+  s.exec_cpu_mean = Msec(750);
+  s.exec_cv = 0.15;
+  s.rootfs_fraction = 0.45;
+  s.init_anon_fraction = 0.35;  // Most anon is the per-request graph.
+  s.exec_file_fraction = 0.02;
+  return s;
+}
+
+FunctionSpec BertSpec() {
+  FunctionSpec s;
+  s.name = "Bert";
+  s.vcpu_shares = 1.0;
+  s.memory_limit = MiB(1536);
+  s.anon_working_set = MiB(620);
+  s.file_deps_bytes = MiB(820);  // Large language-model weights.
+  s.container_init_cpu = Msec(650);
+  s.function_init_cpu = Msec(2350);
+  s.exec_cpu_mean = Msec(850);
+  s.exec_cv = 0.18;
+  s.rootfs_fraction = 0.15;
+  s.init_anon_fraction = 0.7;
+  s.exec_file_fraction = 0.04;
+  return s;
+}
+
+std::vector<FunctionSpec> PaperFunctions() {
+  return {HtmlSpec(), CnnSpec(), BfsSpec(), BertSpec()};
+}
+
+}  // namespace squeezy

@@ -1,0 +1,123 @@
+#include "src/faas/microvm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace squeezy {
+
+MicroVmPool::MicroVmPool(EventQueue* events, Hypervisor* hv, HostMemory* host, FunctionSpec spec,
+                         const MicroVmPoolConfig& config)
+    : events_(events), hv_(hv), host_(host), spec_(std::move(spec)), config_(config) {
+  assert(events_ != nullptr && hv_ != nullptr && host_ != nullptr);
+}
+
+void MicroVmPool::Submit() {
+  // Reuse a warm microVM if one idles.
+  for (auto& mv : vms_) {
+    if (mv->alive && mv->agent->idle_instances() > 0) {
+      mv->agent->Submit();
+      return;
+    }
+  }
+  BootNewVm();
+}
+
+void MicroVmPool::BootNewVm() {
+  const size_t index = vms_.size();
+  auto mv = std::make_unique<MicroVm>();
+
+  // The microVM is provisioned with exactly the function's memory limit
+  // plus the guest OS base (paper §6.3: "minimum memory required").
+  GuestConfig gcfg;
+  gcfg.name = spec_.name + "-uvm" + std::to_string(index);
+  gcfg.vcpus = 1;
+  gcfg.base_memory =
+      (BytesToBlocks(spec_.memory_limit) + BytesToBlocks(hv_->cost().microvm_base_footprint) +
+       BytesToBlocks(spec_.file_deps_bytes)) *
+      kMemoryBlockBytes;
+  gcfg.hotplug_region = kMemoryBlockBytes;  // Unused; device wants >= 1 block.
+  gcfg.seed = config_.seed + index * 7919;
+  gcfg.boot_time = events_->now();
+  mv->guest = std::make_unique<GuestKernel>(gcfg, hv_);
+  mv->committed = gcfg.base_memory + gcfg.hotplug_region;
+  const bool ok = host_->TryReserve(mv->committed, events_->now());
+  assert(ok && "Fig 11 experiments run with abundant host memory");
+  (void)ok;
+
+  AgentConfig acfg;
+  acfg.max_concurrency = 1;  // 1:1 model by definition.
+  acfg.vcpus = 1;
+  acfg.keep_alive = config_.keep_alive;
+  acfg.use_squeezy = false;
+
+  AgentCallbacks callbacks;
+  // Scale-up memory acquisition == booting the microVM.
+  callbacks.acquire_memory = [this](std::function<void(DurationNs)> ready) {
+    const DurationNs boot = hv_->cost().microvm_boot;
+    ++boots_;
+    events_->ScheduleAfter(boot, [ready = std::move(ready), boot] { ready(boot); });
+  };
+  // Scale-down == VM shutdown: the whole footprint is released at once
+  // (the 1:1 model's resource-agility advantage, §2.1).
+  callbacks.release_memory = [this, index] {
+    MicroVm& dead = *vms_[index];
+    dead.alive = false;
+    dead.peak_populated = hv_->stats(dead.vm_id).populated_bytes;
+    ++shutdowns_;
+    events_->ScheduleAfter(hv_->cost().microvm_shutdown, [this, index] {
+      MicroVm& m = *vms_[index];
+      hv_->ReleaseAllPopulated(m.guest->vm_id(), events_->now());
+      host_->ReleaseReservation(m.committed, events_->now());
+    });
+  };
+
+  // The per-VM FaaS agent + runtime daemons occupy memory beyond the
+  // kernel's own tax — state the N:1 model would share across instances.
+  const Pid daemon = mv->guest->CreateProcess();
+  const uint64_t kernel_tax = PagesToBytes(mv->guest->normal_zone().allocated_pages());
+  if (hv_->cost().microvm_base_footprint > kernel_tax) {
+    mv->guest->TouchAnon(daemon, hv_->cost().microvm_base_footprint - kernel_tax,
+                         events_->now());
+  }
+
+  mv->agent = std::make_unique<Agent>(events_, mv->guest.get(), nullptr, spec_, acfg,
+                                      std::move(callbacks), gcfg.seed ^ 0x10afULL);
+  mv->vm_id = mv->guest->vm_id();
+  vms_.push_back(std::move(mv));
+  vms_.back()->agent->Submit();
+}
+
+std::vector<ColdStartBreakdown> MicroVmPool::ColdStarts() const {
+  std::vector<ColdStartBreakdown> out;
+  for (const auto& mv : vms_) {
+    for (const ColdStartBreakdown& c : mv->agent->cold_starts()) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+LatencyRecorder MicroVmPool::Latencies() const {
+  LatencyRecorder rec;
+  for (const auto& mv : vms_) {
+    for (const RequestRecord& r : mv->agent->requests()) {
+      rec.Record(r.latency());
+    }
+  }
+  return rec;
+}
+
+uint64_t MicroVmPool::InstanceFootprint(size_t i) const {
+  const MicroVm& mv = *vms_[i];
+  return std::max(mv.peak_populated, hv_->stats(mv.vm_id).populated_bytes);
+}
+
+size_t MicroVmPool::live_vms() const {
+  size_t n = 0;
+  for (const auto& mv : vms_) {
+    n += mv->alive;
+  }
+  return n;
+}
+
+}  // namespace squeezy

@@ -1,0 +1,72 @@
+// The 1:1 (single-container-per-microVM) model, paper §6.3.
+//
+// Every function instance gets its own microVM: scale-up boots a fresh VM
+// (cold page cache, cold host backing), scale-down shuts one down and
+// releases its whole footprint instantly.  This is the AWS-Lambda-style
+// baseline Squeezy's N:1 elasticity is compared against in Fig 11.
+#ifndef SQUEEZY_FAAS_MICROVM_H_
+#define SQUEEZY_FAAS_MICROVM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/faas/agent.h"
+#include "src/faas/function.h"
+#include "src/guest/guest_kernel.h"
+#include "src/host/host_memory.h"
+#include "src/host/hypervisor.h"
+#include "src/sim/event_queue.h"
+
+namespace squeezy {
+
+struct MicroVmPoolConfig {
+  DurationNs keep_alive = Minutes(2);
+  uint64_t seed = 1;
+};
+
+class MicroVmPool {
+ public:
+  MicroVmPool(EventQueue* events, Hypervisor* hv, HostMemory* host, FunctionSpec spec,
+              const MicroVmPoolConfig& config);
+
+  // One invocation: reuses a warm microVM or boots a new one.
+  void Submit();
+
+  // --- Metrics -----------------------------------------------------------------
+  // Per-cold-start breakdowns (vmm = boot latency).
+  std::vector<ColdStartBreakdown> ColdStarts() const;
+  LatencyRecorder Latencies() const;
+  // Host-populated bytes of the i-th microVM (per-instance footprint,
+  // Fig 11b).  Meaningful after its first request completed.
+  uint64_t InstanceFootprint(size_t i) const;
+  size_t vm_count() const { return vms_.size(); }
+  size_t live_vms() const;
+  uint64_t boots() const { return boots_; }
+  uint64_t shutdowns() const { return shutdowns_; }
+
+ private:
+  struct MicroVm {
+    VmId vm_id = -1;
+    std::unique_ptr<GuestKernel> guest;
+    std::unique_ptr<Agent> agent;
+    bool alive = true;
+    uint64_t committed = 0;
+    uint64_t peak_populated = 0;  // Captured before shutdown releases it.
+  };
+
+  void BootNewVm();
+
+  EventQueue* events_;
+  Hypervisor* hv_;
+  HostMemory* host_;
+  FunctionSpec spec_;
+  MicroVmPoolConfig config_;
+  std::vector<std::unique_ptr<MicroVm>> vms_;
+  uint64_t boots_ = 0;
+  uint64_t shutdowns_ = 0;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_FAAS_MICROVM_H_

@@ -1,0 +1,327 @@
+#include "src/faas/runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace squeezy {
+
+const char* ReclaimPolicyName(ReclaimPolicy p) {
+  switch (p) {
+    case ReclaimPolicy::kStatic:
+      return "Static";
+    case ReclaimPolicy::kVirtioMem:
+      return "Virtio-mem";
+    case ReclaimPolicy::kSqueezy:
+      return "Squeezy";
+    case ReclaimPolicy::kHarvestOpts:
+      return "HarvestVM-opts";
+  }
+  return "?";
+}
+
+FaasRuntime::FaasRuntime(const RuntimeConfig& config)
+    : config_(config), cost_(config.cost), cpu_(Sec(1)), host_(config.host_capacity) {
+  hv_ = std::make_unique<Hypervisor>(&host_, &cost_, &cpu_);
+}
+
+FaasRuntime::~FaasRuntime() = default;
+
+int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency) {
+  const int fn = static_cast<int>(vms_.size());
+  auto bundle = std::make_unique<VmBundle>();
+  bundle->spec = spec;
+  bundle->max_concurrency = max_concurrency;
+  bundle->plug_unit = BytesToBlocks(spec.memory_limit) * kMemoryBlockBytes;
+  const uint64_t deps_region = BytesToBlocks(spec.file_deps_bytes) * kMemoryBlockBytes;
+
+  GuestConfig gcfg;
+  gcfg.name = spec.name;
+  gcfg.vcpus = static_cast<uint32_t>(
+      std::max(1.0, std::ceil(spec.vcpu_shares * static_cast<double>(max_concurrency))));
+  gcfg.base_memory = config_.vm_base_memory;
+  gcfg.seed = config_.seed * 977 + static_cast<uint64_t>(fn) * 131;
+  gcfg.unplug_timeout = config_.unplug_timeout;
+  gcfg.shuffle_allocator = true;
+
+  SqueezyConfig scfg;
+  const bool use_squeezy = config_.policy == ReclaimPolicy::kSqueezy;
+  if (use_squeezy) {
+    scfg.partition_bytes = bundle->plug_unit;
+    scfg.nr_partitions = max_concurrency;
+    scfg.shared_bytes = deps_region;
+    gcfg.hotplug_region = scfg.region_bytes();
+  } else {
+    // Vanilla/harvest/static: one flat hot-pluggable movable region sized
+    // for N instances + dependency page cache (+ harvest slack).
+    const uint64_t slack = config_.policy == ReclaimPolicy::kHarvestOpts
+                               ? config_.harvest_buffer_units * bundle->plug_unit
+                               : 0;
+    gcfg.hotplug_region =
+        static_cast<uint64_t>(max_concurrency) * bundle->plug_unit + deps_region + slack;
+  }
+
+  bundle->guest = std::make_unique<GuestKernel>(gcfg, hv_.get(), &cpu_);
+  if (use_squeezy) {
+    // Plugs the shared partition at boot.
+    bundle->sqz = std::make_unique<SqueezyManager>(bundle->guest.get(), scfg);
+  }
+
+  // Host commitment at boot: base RAM plus the boot-time plug (shared
+  // partition / dependency cache region).
+  uint64_t boot_commit = gcfg.base_memory + deps_region;
+  if (config_.policy == ReclaimPolicy::kStatic) {
+    // Over-provisioned: everything plugged and committed up front, and the
+    // host backing is warm (long-running VM).
+    boot_commit = gcfg.base_memory + gcfg.hotplug_region;
+    const PlugOutcome all = bundle->guest->PlugMemory(gcfg.hotplug_region, 0);
+    assert(all.complete);
+    if (config_.warm_static_backing) {
+      bundle->guest->WarmAllHostBacking(0);
+    }
+  } else if (!use_squeezy) {
+    const PlugOutcome deps = bundle->guest->PlugMemory(deps_region, 0);
+    assert(deps.complete);
+  }
+  const bool reserved = host_.TryReserve(boot_commit, 0);
+  assert(reserved && "host must fit the boot-time footprint of every VM");
+  (void)reserved;
+
+  AgentConfig acfg;
+  acfg.max_concurrency = max_concurrency;
+  acfg.vcpus = gcfg.vcpus;
+  acfg.keep_alive = config_.keep_alive;
+  acfg.use_squeezy = use_squeezy;
+  AgentCallbacks callbacks;
+  callbacks.acquire_memory = [this, fn](std::function<void(DurationNs)> ready) {
+    AcquireMemory(fn, std::move(ready));
+  };
+  callbacks.release_memory = [this, fn] { ReleaseInstanceMemory(fn); };
+  bundle->agent = std::make_unique<Agent>(&events_, bundle->guest.get(), bundle->sqz.get(),
+                                          spec, acfg, std::move(callbacks),
+                                          gcfg.seed ^ 0x5eedULL);
+  vms_.push_back(std::move(bundle));
+  return fn;
+}
+
+void FaasRuntime::SubmitTrace(const std::vector<Invocation>& trace) {
+  for (const Invocation& inv : trace) {
+    const int fn = inv.function;
+    assert(fn >= 0 && static_cast<size_t>(fn) < vms_.size());
+    events_.ScheduleAt(inv.at, [this, fn] { agent(fn).Submit(); });
+  }
+}
+
+// --- Memory orchestration ----------------------------------------------------------
+
+void FaasRuntime::AcquireMemory(int fn, std::function<void(DurationNs)> ready) {
+  VmBundle& b = vm(fn);
+  switch (config_.policy) {
+    case ReclaimPolicy::kStatic:
+      // Memory is always there; no VMM work on the cold path.
+      ready(0);
+      return;
+    case ReclaimPolicy::kHarvestOpts:
+      if (b.buffer_units > 0) {
+        // Serve from the pre-plugged slack buffer: near-instant, the whole
+        // point of the HarvestVM buffering optimization.
+        --b.buffer_units;
+        events_.ScheduleAfter(Msec(1), [ready = std::move(ready)] { ready(Msec(1)); });
+        return;
+      }
+      [[fallthrough]];
+    case ReclaimPolicy::kVirtioMem:
+    case ReclaimPolicy::kSqueezy: {
+      if (b.queued_unplugs > b.cancelled_unplugs) {
+        // An unplug for this VM is queued but not started: absorb it and
+        // reuse its (still plugged, still committed) memory directly.
+        ++b.cancelled_unplugs;
+        events_.ScheduleAfter(Msec(1), [ready = std::move(ready)] { ready(Msec(1)); });
+        return;
+      }
+      // Memory left behind by timed-out/partial unplugs is still plugged
+      // and committed: consume it first, plugging only the remainder.
+      const uint64_t from_spare = std::min(b.spare_plugged, b.plug_unit);
+      const uint64_t need = b.plug_unit - from_spare;
+      if (need == 0) {
+        b.spare_plugged -= b.plug_unit;
+        events_.ScheduleAfter(Msec(1), [ready = std::move(ready)] { ready(Msec(1)); });
+        return;
+      }
+      if (host_.TryReserve(need, events_.now())) {
+        b.spare_plugged -= from_spare;
+        PlugAndGrant(fn, need, std::move(ready));
+        return;
+      }
+      // Memory-starved: wait for scale-downs to release memory (§6.2.2).
+      pending_.push_back(PendingScaleUp{fn, std::move(ready)});
+      MakeRoom(b.plug_unit * (config_.policy == ReclaimPolicy::kHarvestOpts ? 2 : 1));
+      if (!tick_armed_) {
+        tick_armed_ = true;
+        events_.ScheduleAfter(config_.pressure_check_period, [this] { PressureTick(); });
+      }
+      return;
+    }
+  }
+}
+
+void FaasRuntime::PlugAndGrant(int fn, uint64_t bytes, std::function<void(DurationNs)> ready) {
+  VmBundle& b = vm(fn);
+  const PlugOutcome out = b.guest->PlugMemory(bytes, events_.now());
+  assert(out.complete && "device region must be sized for max concurrency");
+  events_.ScheduleAfter(out.latency,
+                        [ready = std::move(ready), lat = out.latency] { ready(lat); });
+}
+
+void FaasRuntime::ReleaseInstanceMemory(int fn) {
+  VmBundle& b = vm(fn);
+  switch (config_.policy) {
+    case ReclaimPolicy::kStatic:
+      return;  // Nothing to reclaim; memory stays with the VM.
+    case ReclaimPolicy::kHarvestOpts: {
+      if (pending_.empty() && b.buffer_units < config_.harvest_buffer_units) {
+        // Keep the memory plugged as slack for the next spike (drained by
+        // the pressure tick when the host runs low).
+        ++b.buffer_units;
+        return;
+      }
+      StartUnplug(fn);
+      return;
+    }
+    case ReclaimPolicy::kVirtioMem:
+    case ReclaimPolicy::kSqueezy:
+      StartUnplug(fn);
+      return;
+  }
+}
+
+void FaasRuntime::StartUnplug(int fn) {
+  VmBundle& b = vm(fn);
+  // One virtio-mem worker per VM: requests issued while a previous unplug
+  // is still migrating/offlining queue up behind it.
+  if (events_.now() < b.unplug_busy_until) {
+    ++b.queued_unplugs;
+    events_.ScheduleAt(b.unplug_busy_until, [this, fn] {
+      VmBundle& vb = vm(fn);
+      --vb.queued_unplugs;
+      if (vb.cancelled_unplugs > 0) {
+        --vb.cancelled_unplugs;  // A scale-up already reused this memory.
+        return;
+      }
+      StartUnplug(fn);
+    });
+    return;
+  }
+  const UnplugOutcome out = b.guest->UnplugMemory(b.plug_unit, events_.now());
+  if (!out.complete) {
+    ++unplug_incomplete_;
+    if (config_.policy != ReclaimPolicy::kSqueezy) {
+      // Whatever the request failed to reclaim stays plugged (and
+      // committed); later scale-ups of this VM consume it directly.
+      b.spare_plugged += b.plug_unit - out.bytes_unplugged;
+    }
+    // Under Squeezy an "incomplete" unplug means the drained partition was
+    // already re-assigned through the waitqueue (reuse-without-replug):
+    // there is nothing left to reclaim and nothing left over.
+  }
+  b.unplug_busy_until = events_.now() + out.latency();
+  // The virtio-mem worker's guest-side CPU time (migrations, zeroing)
+  // competes with running instances (Fig 9).
+  b.agent->AddKernelInterference(out.breakdown.total() - out.breakdown.vm_exits);
+  const uint64_t released = out.bytes_unplugged;
+  events_.ScheduleAfter(out.latency(), [this, released] {
+    if (released > 0) {
+      host_.ReleaseReservation(released, events_.now());
+    }
+    TryServePending();
+  });
+}
+
+void FaasRuntime::TryServePending() {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    VmBundle& b = vm(it->fn);
+    if (host_.TryReserve(b.plug_unit, events_.now())) {
+      std::function<void(DurationNs)> ready = std::move(it->ready);
+      const int fn = it->fn;
+      it = pending_.erase(it);
+      PlugAndGrant(fn, vm(fn).plug_unit, std::move(ready));
+    } else {
+      ++it;  // FIFO with skip: smaller requests behind may still fit.
+    }
+  }
+}
+
+uint64_t FaasRuntime::MakeRoom(uint64_t needed) {
+  uint64_t expected = 0;
+  while (expected < needed) {
+    // Globally oldest idle instance across all VMs.  Instances that only
+    // just went idle are spared: reaping them would immediately force a
+    // re-spawn of the same function (the premature-reclamation pathology
+    // the paper observes for aggressive policies, §6.2.2).
+    int best = -1;
+    TimeNs best_since = 0;
+    for (size_t i = 0; i < vms_.size(); ++i) {
+      const TimeNs since = vms_[i]->agent->OldestIdleSince();
+      if (since >= 0 && since + Sec(2) <= events_.now() &&
+          (best < 0 || since < best_since)) {
+        best = static_cast<int>(i);
+        best_since = since;
+      }
+    }
+    if (best < 0) {
+      break;  // Nothing idle to reclaim; pending scale-ups must wait.
+    }
+    // Eviction triggers ReleaseInstanceMemory -> unplug (async release).
+    vm(best).agent->EvictOldestIdle();
+    expected += vm(best).plug_unit;
+  }
+  return expected;
+}
+
+void FaasRuntime::PressureTick() {
+  tick_armed_ = false;
+  TryServePending();
+  if (!pending_.empty()) {
+    uint64_t needed = 0;
+    for (const PendingScaleUp& p : pending_) {
+      needed += vm(p.fn).plug_unit;
+    }
+    if (config_.policy == ReclaimPolicy::kHarvestOpts) {
+      needed *= 2;  // Proactive over-reclamation (HarvestVM).
+    }
+    MakeRoom(needed);
+  }
+  if (config_.policy == ReclaimPolicy::kHarvestOpts) {
+    const double free_frac =
+        static_cast<double>(host_.available()) / static_cast<double>(host_.capacity());
+    if (free_frac < config_.harvest_low_memory_frac) {
+      // Background proactive reclaim: drop the slack buffers first, then
+      // idle instances.
+      for (auto& b : vms_) {
+        while (b->buffer_units > 0) {
+          --b->buffer_units;
+          const int fn = static_cast<int>(&b - &vms_[0]);
+          StartUnplug(fn);
+        }
+      }
+      MakeRoom(kMemoryBlockBytes * 8);
+    }
+  }
+  if (!pending_.empty()) {
+    tick_armed_ = true;
+    events_.ScheduleAfter(config_.pressure_check_period, [this] { PressureTick(); });
+  }
+}
+
+double FaasRuntime::ReclaimThroughputMiBps(int fn) const {
+  const VmBundle& b = *vms_[static_cast<size_t>(fn)];
+  const DurationNs busy = b.guest->virtio_mem().total_unplug_time();
+  if (busy <= 0) {
+    return 0.0;
+  }
+  const double mib = static_cast<double>(b.guest->virtio_mem().total_unplugged_bytes()) /
+                     static_cast<double>(MiB(1));
+  return mib / ToSec(busy);
+}
+
+}  // namespace squeezy

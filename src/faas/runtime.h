@@ -1,0 +1,167 @@
+// Host-side FaaS runtime (OpenWhisk-style, paper §4.2/§6.2).
+//
+// Owns the host memory book, the hypervisor, one N:1 VM per function and
+// its in-VM agent.  Orchestrates memory elasticity:
+//   * scale-up: admission against host memory, plug, then instance start;
+//     under memory pressure scale-ups wait for scale-downs to free memory
+//     (paper §6.2.2);
+//   * scale-down: keep-alive eviction triggers unplug per the configured
+//     reclamation policy.
+//
+// Policies:
+//   kStatic     — over-provisioned VM, no plugging (the §6.2.1 baseline).
+//   kVirtioMem  — vanilla virtio-mem unplug (migrations, timeouts).
+//   kSqueezy    — partition-aware plug/unplug (this paper).
+//   kHarvestOpts— virtio-mem + HarvestVM optimizations: per-VM slack
+//                 buffers and proactive idle reclamation (paper §6.2.2).
+#ifndef SQUEEZY_FAAS_RUNTIME_H_
+#define SQUEEZY_FAAS_RUNTIME_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/squeezy.h"
+#include "src/faas/agent.h"
+#include "src/faas/function.h"
+#include "src/guest/guest_kernel.h"
+#include "src/host/host_memory.h"
+#include "src/host/hypervisor.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/cpu_accountant.h"
+#include "src/sim/event_queue.h"
+#include "src/trace/trace_gen.h"
+
+namespace squeezy {
+
+enum class ReclaimPolicy : uint8_t {
+  kStatic,
+  kVirtioMem,
+  kSqueezy,
+  kHarvestOpts,
+};
+
+const char* ReclaimPolicyName(ReclaimPolicy p);
+
+struct RuntimeConfig {
+  uint64_t host_capacity = GiB(256);
+  ReclaimPolicy policy = ReclaimPolicy::kSqueezy;
+  DurationNs keep_alive = Minutes(2);
+  uint64_t seed = 1;
+  uint64_t vm_base_memory = MiB(512);
+  DurationNs unplug_timeout = Sec(5);
+  // kStatic only: mark the over-provisioned VM's memory host-backed at
+  // boot (a long-running warm VM).  Disable to watch the host footprint
+  // grow to its high watermark (Fig 1).
+  bool warm_static_backing = true;
+  // Pressure check cadence (serves pending scale-ups, harvest proactive).
+  DurationNs pressure_check_period = Sec(1);
+  // HarvestVM-opts knobs (paper §6.2.2): slack instances kept plugged per
+  // VM, and the free-memory fraction below which idle instances are
+  // proactively reclaimed.
+  uint32_t harvest_buffer_units = 2;
+  double harvest_low_memory_frac = 0.12;
+  // Cost model (copied; benches tweak fields before constructing).
+  CostModel cost = CostModel::Default();
+};
+
+class FaasRuntime {
+ public:
+  explicit FaasRuntime(const RuntimeConfig& config);
+  ~FaasRuntime();
+
+  // Registers one N:1 VM hosting `spec` with concurrency factor N.
+  // Returns the function index used by SubmitTrace.
+  int AddFunction(const FunctionSpec& spec, uint32_t max_concurrency);
+
+  // Schedules every invocation of the merged trace (Invocation::function
+  // indexes functions in AddFunction order).
+  void SubmitTrace(const std::vector<Invocation>& trace);
+
+  void RunUntil(TimeNs t) { events_.RunUntil(t); }
+  void RunAll() { events_.RunAll(); }
+
+  // --- Accessors -----------------------------------------------------------------
+  EventQueue& events() { return events_; }
+  HostMemory& host() { return host_; }
+  Hypervisor& hypervisor() { return *hv_; }
+  CpuAccountant& cpu() { return cpu_; }
+  size_t function_count() const { return vms_.size(); }
+  Agent& agent(int fn) { return *vms_[static_cast<size_t>(fn)]->agent; }
+  GuestKernel& guest(int fn) { return *vms_[static_cast<size_t>(fn)]->guest; }
+  SqueezyManager* squeezy(int fn) { return vms_[static_cast<size_t>(fn)]->sqz.get(); }
+  const FunctionSpec& spec(int fn) const { return vms_[static_cast<size_t>(fn)]->spec; }
+  const RuntimeConfig& config() const { return config_; }
+
+  // Reclamation throughput achieved by fn's VM so far (MiB/s); 0 if the VM
+  // never unplugged (Fig 8).
+  double ReclaimThroughputMiBps(int fn) const;
+  // Pending (memory-starved) scale-up requests right now.
+  size_t pending_scaleups() const { return pending_.size(); }
+  uint64_t total_unplug_failures() const { return unplug_incomplete_; }
+
+ private:
+  struct VmBundle {
+    FunctionSpec spec;
+    uint32_t max_concurrency = 0;
+    uint64_t plug_unit = 0;  // Block-rounded memory limit.
+    std::unique_ptr<GuestKernel> guest;
+    std::unique_ptr<SqueezyManager> sqz;
+    std::unique_ptr<Agent> agent;
+    uint32_t buffer_units = 0;  // HarvestVM slack currently plugged+idle.
+    // The single virtio-mem worker processes unplug requests serially;
+    // queued requests start when the previous one finishes.  A scale-up
+    // arriving while unplugs are queued cancels one and reuses its memory
+    // directly (the runtime coordinates plug and recycle events, §4.2).
+    TimeNs unplug_busy_until = 0;
+    uint32_t queued_unplugs = 0;
+    uint32_t cancelled_unplugs = 0;
+    // Memory left plugged by timed-out/partial unplugs: still committed,
+    // reused by the next scale-up of this VM without a new reservation
+    // (the paper's "forced to use the maximum memory available").
+    uint64_t spare_plugged = 0;
+  };
+
+  struct PendingScaleUp {
+    int fn;
+    std::function<void(DurationNs)> ready;
+  };
+
+  VmBundle& vm(int fn) { return *vms_[static_cast<size_t>(fn)]; }
+
+  // Agent callbacks.
+  void AcquireMemory(int fn, std::function<void(DurationNs)> ready);
+  void ReleaseInstanceMemory(int fn);
+
+  // Plugs `bytes` for fn and schedules `ready` at plug completion.
+  // Pre-condition: the host reservation for `bytes` succeeded.
+  void PlugAndGrant(int fn, uint64_t bytes, std::function<void(DurationNs)> ready);
+  // Unplugs one unit from fn's VM; releases the host reservation at
+  // completion.
+  void StartUnplug(int fn);
+  // Serves queued scale-ups that now fit (FIFO with skip).
+  void TryServePending();
+  // Evicts globally-oldest idle instances expected to free >= `needed`
+  // bytes.  Returns the bytes expected from the evictions triggered.
+  uint64_t MakeRoom(uint64_t needed);
+  // Periodic: serve pending, harvest proactive reclaim / buffer refill.
+  void PressureTick();
+
+  RuntimeConfig config_;
+  CostModel cost_;
+  EventQueue events_;
+  CpuAccountant cpu_;
+  HostMemory host_;
+  std::unique_ptr<Hypervisor> hv_;
+  std::vector<std::unique_ptr<VmBundle>> vms_;
+  std::deque<PendingScaleUp> pending_;
+  uint64_t unplug_incomplete_ = 0;
+  bool tick_armed_ = false;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_FAAS_RUNTIME_H_

@@ -1,0 +1,408 @@
+#include "src/guest/guest_kernel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace squeezy {
+
+GuestKernel::GuestKernel(const GuestConfig& config, Hypervisor* hv, CpuAccountant* cpu)
+    : config_(config), hv_(hv), cpu_(cpu), rng_(config.seed) {
+  assert(hv_ != nullptr);
+  assert(config_.base_memory % kMemoryBlockBytes == 0 && "base memory must be block-aligned");
+  assert(config_.hotplug_region % kMemoryBlockBytes == 0 && "hotplug region must be block-aligned");
+
+  vm_ = hv_->RegisterVm(config_.name, config_.vcpus);
+  memmap_ = std::make_unique<MemMap>(config_.base_memory + config_.hotplug_region);
+
+  Rng* shuffle = config_.shuffle_allocator ? &rng_ : nullptr;
+  zones_.push_back(std::make_unique<Zone>(0, ZoneType::kNormal, "Normal", memmap_.get(), shuffle));
+  normal_zone_ = zones_.back().get();
+  zones_.push_back(
+      std::make_unique<Zone>(1, ZoneType::kMovable, "Movable", memmap_.get(), shuffle));
+  movable_zone_ = zones_.back().get();
+  file_zone_ = movable_zone_;
+
+  // Boot RAM comes online into ZONE_NORMAL without the hotplug pipeline.
+  const uint32_t base_blocks = static_cast<uint32_t>(config_.base_memory / kMemoryBlockBytes);
+  for (BlockIndex b = 0; b < base_blocks; ++b) {
+    memmap_->InitBlock(b);
+    normal_zone_->AddFreeRange(MemMap::BlockStart(b), kPagesPerBlock);
+    memmap_->set_block_state(b, BlockState::kOnline);
+  }
+  hotplug_first_block_ = base_blocks;
+  hotplug_nr_blocks_ = static_cast<uint32_t>(config_.hotplug_region / kMemoryBlockBytes);
+
+  hotplug_ = std::make_unique<HotplugManager>(memmap_.get(), &hv_->cost(), hv_, vm_, this);
+
+  VirtioMemConfig vcfg;
+  vcfg.first_block = hotplug_first_block_;
+  vcfg.nr_blocks = hotplug_nr_blocks_;
+  vcfg.unplug_timeout = config_.unplug_timeout;
+  vcfg.guest_thread = config_.name + "/virtio_mem-guest";
+  vcfg.host_thread = config_.name + "/virtio_mem-host";
+  virtio_ = std::make_unique<VirtioMemDevice>(vcfg, hotplug_.get(), this, cpu_);
+
+  balloon_ = std::make_unique<BalloonDevice>(memmap_.get(), &hv_->cost(), hv_, vm_, cpu_,
+                                             config_.name + "/balloon-guest",
+                                             config_.name + "/balloon-host");
+
+  // The kernel's own footprint: pinned, unmovable, host-backed at boot.
+  const uint64_t kernel_bytes = std::min<uint64_t>(MiB(96), config_.base_memory / 4);
+  uint64_t kernel_pages = BytesToPages(kernel_bytes);
+  while (kernel_pages > 0) {
+    const uint8_t order = static_cast<uint8_t>(
+        std::min<uint64_t>(kMaxPageOrder, 63 - __builtin_clzll(kernel_pages)));
+    const Pfn pfn = normal_zone_->Alloc(order, PageKind::kKernel, kNoOwner, 0);
+    assert(pfn != kInvalidPfn);
+    PopulateHostBacking(pfn, 1u << order, config_.boot_time);
+    kernel_pages -= 1u << order;
+  }
+}
+
+GuestKernel::~GuestKernel() = default;
+
+Zone* GuestKernel::CreateZone(ZoneType type, const std::string& name) {
+  const int16_t id = static_cast<int16_t>(zones_.size());
+  zones_.push_back(std::make_unique<Zone>(id, type, name, memmap_.get(), nullptr));
+  return zones_.back().get();
+}
+
+// --- Processes ----------------------------------------------------------------
+
+Pid GuestKernel::CreateProcess() {
+  const Pid pid = static_cast<Pid>(processes_.size());
+  processes_.push_back(std::make_unique<Process>(pid, kNoPid));
+  ++live_processes_;
+  return pid;
+}
+
+Pid GuestKernel::Fork(Pid parent_pid) {
+  Process& parent = process(parent_pid);
+  assert(parent.state() == ProcessState::kRunning);
+  const Pid pid = static_cast<Pid>(processes_.size());
+  processes_.push_back(std::make_unique<Process>(pid, parent_pid));
+  Process& child = *processes_.back();
+  ++live_processes_;
+  // The child joins the parent's Squeezy partition (paper §4.1) and shares
+  // its file mappings.  Anonymous memory is not duplicated (we model a
+  // fork+exec/CoW-light worker, the common container pattern).
+  child.set_partition_id(parent.partition_id());
+  child.set_anon_zone(parent.anon_zone());
+  for (const int32_t f : parent.files()) {
+    child.MapFile(f);
+  }
+  if (lifecycle_ != nullptr) {
+    lifecycle_->OnFork(parent, child);
+  }
+  return pid;
+}
+
+bool GuestKernel::Alive(Pid pid) const {
+  return processes_[static_cast<size_t>(pid)]->state() == ProcessState::kRunning;
+}
+
+void GuestKernel::Exit(Pid pid) {
+  Process& proc = process(pid);
+  assert(proc.state() == ProcessState::kRunning);
+  proc.set_state(ProcessState::kExited);
+  FolioRef folio;
+  while (proc.PopFolio(&folio)) {
+    Zone& zone = *zones_[static_cast<size_t>(memmap_->page(folio.head).zone_id)];
+    zone.Free(folio.head);
+  }
+  assert(live_processes_ > 0);
+  --live_processes_;
+  if (lifecycle_ != nullptr) {
+    lifecycle_->OnExit(proc);
+  }
+}
+
+void GuestKernel::OomKill(Pid pid) {
+  Exit(pid);
+  process(pid).set_state(ProcessState::kOomKilled);
+}
+
+// --- Fault paths -----------------------------------------------------------------
+
+DurationNs GuestKernel::PopulateHostBacking(Pfn head, uint32_t pages, TimeNs now) {
+  const uint32_t granule_pages = static_cast<uint32_t>(cost().host_thp_bytes / kPageSize);
+  const Pfn first_granule = head / granule_pages;
+  const Pfn last_granule = (head + pages - 1) / granule_pages;
+  uint64_t extents = 0;
+  uint64_t new_pages = 0;
+  for (Pfn g = first_granule; g <= last_granule; ++g) {
+    const Pfn start = g * granule_pages;
+    bool any_new = false;
+    for (Pfn pfn = start; pfn < start + granule_pages; ++pfn) {
+      Page& p = memmap_->page(pfn);
+      if (!p.host_populated) {
+        // Host THP backs the whole aligned granule on first touch.
+        p.host_populated = true;
+        any_new = true;
+        ++new_pages;
+      }
+    }
+    if (any_new) {
+      ++extents;
+    }
+  }
+  if (extents == 0) {
+    return 0;
+  }
+  return hv_->NestedFaultPopulate(vm_, extents, PagesToBytes(new_pages), now);
+}
+
+Zone* GuestKernel::AnonZoneFor(const Process& proc) {
+  return proc.anon_zone() != nullptr ? proc.anon_zone() : movable_zone_;
+}
+
+TouchResult GuestKernel::TouchAnon(Pid pid, uint64_t bytes, TimeNs now) {
+  TouchResult result;
+  Process& proc = process(pid);
+  assert(proc.state() == ProcessState::kRunning);
+  Zone* primary = AnonZoneFor(proc);
+  // Squeezy processes are confined to their partition; vanilla movable
+  // allocations may spill into ZONE_NORMAL like Linux's zonelist fallback.
+  Zone* fallback = (proc.anon_zone() == nullptr) ? normal_zone_ : nullptr;
+
+  uint64_t remaining = BytesToPages(bytes);
+  while (remaining > 0) {
+    uint8_t order = static_cast<uint8_t>(
+        std::min<uint64_t>(kThpOrder, 63 - __builtin_clzll(remaining)));
+    Pfn head = kInvalidPfn;
+    Zone* zone = nullptr;
+    for (;;) {
+      const uint32_t slot = proc.ReserveSlot();
+      head = primary->Alloc(order, PageKind::kAnon, pid, slot);
+      zone = primary;
+      if (head == kInvalidPfn && fallback != nullptr) {
+        head = fallback->Alloc(order, PageKind::kAnon, pid, slot);
+        zone = fallback;
+      }
+      if (head != kInvalidPfn) {
+        proc.CommitSlot(slot, head, order);
+        break;
+      }
+      proc.AbandonSlot(slot);  // Nothing was allocated into it.
+      if (order == 0) {
+        break;
+      }
+      --order;  // Fall back to smaller folios under fragmentation.
+    }
+    if (head == kInvalidPfn) {
+      // Out of memory: the partition cap (or the VM) was exhausted.  The
+      // OOM killer reaps the process (paper §4.1).
+      OomKill(pid);
+      result.oom = true;
+      return result;
+    }
+    (void)zone;
+    const uint32_t folio_pages = 1u << order;
+    result.latency += cost().fault_folio_fixed + cost().fault_page * folio_pages;
+    const DurationNs nested = PopulateHostBacking(head, folio_pages, now);
+    result.nested += nested;
+    result.latency += nested;
+    result.bytes += PagesToBytes(folio_pages);
+    remaining -= folio_pages;
+  }
+  return result;
+}
+
+TouchResult GuestKernel::TouchFile(Pid pid, int32_t file_id, uint64_t bytes, TimeNs now) {
+  TouchResult result;
+  Process& proc = process(pid);
+  assert(proc.state() == ProcessState::kRunning);
+  const uint64_t pages = std::min<uint64_t>(BytesToPages(bytes), page_cache_.FilePages(file_id));
+
+  // Fast path: fully cached prefix -> pure remap cost, no per-page walk.
+  if (page_cache_.cached_pages(file_id) == page_cache_.FilePages(file_id)) {
+    result.latency += cost().fault_page * static_cast<int64_t>(pages);
+    result.bytes = PagesToBytes(pages);
+    return result;
+  }
+
+  for (uint64_t idx = 0; idx < pages; ++idx) {
+    if (page_cache_.Cached(file_id, idx)) {
+      result.latency += cost().fault_page;
+      continue;
+    }
+    Zone* zone = file_zone_;
+    Pfn pfn = zone->Alloc(0, PageKind::kFile, file_id, static_cast<uint32_t>(idx));
+    if (pfn == kInvalidPfn && proc.anon_zone() == nullptr && zone != normal_zone_) {
+      zone = normal_zone_;
+      pfn = zone->Alloc(0, PageKind::kFile, file_id, static_cast<uint32_t>(idx));
+    }
+    if (pfn == kInvalidPfn) {
+      OomKill(pid);
+      result.oom = true;
+      return result;
+    }
+    page_cache_.Insert(file_id, idx, pfn);
+    result.latency += cost().fault_folio_fixed + cost().fault_page + cost().IoBytes(kPageSize);
+    const DurationNs nested = PopulateHostBacking(pfn, 1, now);
+    result.nested += nested;
+    result.latency += nested;
+  }
+  result.bytes = PagesToBytes(pages);
+  return result;
+}
+
+uint64_t GuestKernel::FreeAnon(Pid pid, uint64_t bytes) {
+  Process& proc = process(pid);
+  uint64_t freed = 0;
+  FolioRef folio;
+  while (freed < bytes && proc.PopFolio(&folio)) {
+    Zone& zone = *zones_[static_cast<size_t>(memmap_->page(folio.head).zone_id)];
+    zone.Free(folio.head);
+    freed += PagesToBytes(folio.pages());
+  }
+  return freed;
+}
+
+int32_t GuestKernel::CreateFile(const std::string& name, uint64_t size_bytes) {
+  return page_cache_.RegisterFile(name, size_bytes);
+}
+
+// --- Memory elasticity ---------------------------------------------------------
+
+PlugOutcome GuestKernel::PlugMemory(uint64_t bytes, TimeNs now) {
+  return virtio_->Plug(bytes, now);
+}
+
+UnplugOutcome GuestKernel::UnplugMemory(uint64_t bytes, TimeNs now) {
+  return virtio_->Unplug(bytes, now);
+}
+
+BalloonOutcome GuestKernel::BalloonReclaim(uint64_t bytes, TimeNs now) {
+  return balloon_->Inflate(bytes, movable_zone_, now);
+}
+
+void GuestKernel::WarmAllHostBacking(TimeNs now) {
+  uint64_t new_pages = 0;
+  for (Pfn pfn = 0; pfn < memmap_->span_pages(); ++pfn) {
+    Page& p = memmap_->page(pfn);
+    if (p.state != PageState::kHole && !p.host_populated) {
+      p.host_populated = true;
+      ++new_pages;
+    }
+  }
+  if (new_pages > 0) {
+    hv_->NestedFaultPopulate(vm_, 0, PagesToBytes(new_pages), now);
+  }
+}
+
+// --- Accounting -------------------------------------------------------------------
+
+uint64_t GuestKernel::allocated_bytes() const {
+  uint64_t pages = 0;
+  for (const auto& z : zones_) {
+    pages += z->allocated_pages();
+  }
+  return PagesToBytes(pages);
+}
+
+uint64_t GuestKernel::online_bytes() const {
+  uint64_t pages = 0;
+  for (const auto& z : zones_) {
+    pages += z->managed_pages();
+  }
+  return PagesToBytes(pages);
+}
+
+// --- OwnerRegistry ------------------------------------------------------------------
+
+void GuestKernel::RelocateFolio(PageKind kind, int32_t owner, uint32_t owner_slot, Pfn new_head) {
+  if (kind == PageKind::kAnon) {
+    process(owner).Relocate(owner_slot, new_head);
+  } else if (kind == PageKind::kFile) {
+    page_cache_.Relocate(owner, owner_slot, new_head);
+  }
+}
+
+// --- VirtioMemHooks: vanilla Linux policy -----------------------------------------
+
+std::vector<BlockIndex> GuestKernel::SelectPlugBlocks(uint64_t max_blocks) {
+  if (override_hooks_ != nullptr) {
+    return override_hooks_->SelectPlugBlocks(max_blocks);
+  }
+  // Vanilla: lowest absent blocks of the device region first.
+  std::vector<BlockIndex> out;
+  for (BlockIndex b = hotplug_first_block_;
+       b < hotplug_first_block_ + hotplug_nr_blocks_ && out.size() < max_blocks; ++b) {
+    if (memmap_->block_state(b) == BlockState::kAbsent) {
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+Zone* GuestKernel::OnlineTargetZone(BlockIndex b) {
+  if (override_hooks_ != nullptr) {
+    return override_hooks_->OnlineTargetZone(b);
+  }
+  // Vanilla: hot-plugged memory onlines into ZONE_MOVABLE so it stays
+  // (theoretically) offlinable.
+  return movable_zone_;
+}
+
+void GuestKernel::OnBlockOnline(BlockIndex b) {
+  if (override_hooks_ != nullptr) {
+    override_hooks_->OnBlockOnline(b);
+  }
+}
+
+std::vector<BlockIndex> GuestKernel::SelectUnplugBlocks(uint64_t max_blocks) {
+  if (override_hooks_ != nullptr) {
+    return override_hooks_->SelectUnplugBlocks(max_blocks);
+  }
+  // Vanilla policy: every online block of the device region is a
+  // candidate.  Linux virtio-mem walks by address, highest block first;
+  // the emptiest-first variant (fewest pages to migrate) is a smarter
+  // hypothetical baseline evaluated in the block-selection ablation.
+  std::vector<BlockIndex> candidates;
+  for (BlockIndex b = hotplug_first_block_; b < hotplug_first_block_ + hotplug_nr_blocks_; ++b) {
+    if (memmap_->block_state(b) == BlockState::kOnline) {
+      candidates.push_back(b);
+    }
+  }
+  if (config_.unplug_selection == UnplugSelection::kEmptiestFirst) {
+    std::stable_sort(candidates.begin(), candidates.end(), [this](BlockIndex a, BlockIndex b) {
+      return memmap_->BlockOccupied(a) < memmap_->BlockOccupied(b);
+    });
+  } else {
+    std::reverse(candidates.begin(), candidates.end());
+  }
+  (void)max_blocks;  // The driver stops when the request is met.
+  return candidates;
+}
+
+OfflineOptions GuestKernel::OfflineOptionsFor(BlockIndex b) {
+  if (override_hooks_ != nullptr) {
+    return override_hooks_->OfflineOptionsFor(b);
+  }
+  return OfflineOptions{/*skip_zeroing=*/false, /*allow_migration=*/true};
+}
+
+Zone* GuestKernel::BlockZone(BlockIndex b) {
+  if (override_hooks_ != nullptr) {
+    return override_hooks_->BlockZone(b);
+  }
+  const Page& first = memmap_->page(MemMap::BlockStart(b));
+  assert(first.zone_id >= 0);
+  return zones_[static_cast<size_t>(first.zone_id)].get();
+}
+
+Zone* GuestKernel::MigrationTarget(BlockIndex b) {
+  if (override_hooks_ != nullptr) {
+    return override_hooks_->MigrationTarget(b);
+  }
+  return movable_zone_;
+}
+
+void GuestKernel::OnBlockUnplugged(BlockIndex b) {
+  if (override_hooks_ != nullptr) {
+    override_hooks_->OnBlockUnplugged(b);
+  }
+}
+
+}  // namespace squeezy

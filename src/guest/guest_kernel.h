@@ -1,0 +1,195 @@
+// The guest OS kernel facade.
+//
+// Owns the memory map, zones, allocator fault paths, page cache, process
+// table and the hot(un)plug devices of one VM.  Implements the *vanilla*
+// Linux policies (ZONE_MOVABLE onlining, occupancy-ranked unplug with
+// migration); the Squeezy extension (src/core) overrides them through the
+// VirtioMemHooks indirection and the process-lifecycle observer.
+#ifndef SQUEEZY_GUEST_GUEST_KERNEL_H_
+#define SQUEEZY_GUEST_GUEST_KERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/guest/process.h"
+#include "src/host/hypervisor.h"
+#include "src/hotplug/balloon.h"
+#include "src/hotplug/hotplug.h"
+#include "src/hotplug/virtio_mem.h"
+#include "src/mm/memmap.h"
+#include "src/mm/migration.h"
+#include "src/mm/page_cache.h"
+#include "src/mm/zone.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/cpu_accountant.h"
+#include "src/sim/rng.h"
+
+namespace squeezy {
+
+// Squeezy (or any other MM extension) observes process lifecycle events
+// to maintain partition refcounts (paper §4.1: fork handling).
+class ProcessLifecycleObserver {
+ public:
+  virtual ~ProcessLifecycleObserver() = default;
+  virtual void OnFork(Process& parent, Process& child) = 0;
+  virtual void OnExit(Process& proc) = 0;
+};
+
+// Vanilla unplug candidate ordering.  Linux virtio-mem walks the device
+// region by address (highest block first); ranking by occupancy is a
+// hypothetical smarter baseline kept for the ablation study.
+enum class UnplugSelection : uint8_t {
+  kAddressDescending,  // Linux behaviour (default).
+  kEmptiestFirst,      // Fewest occupied pages first.
+};
+
+struct GuestConfig {
+  std::string name = "vm";
+  uint32_t vcpus = 1;
+  // Boot RAM: kernel + unmovable allocations (ZONE_NORMAL).
+  uint64_t base_memory = MiB(512);
+  // virtio-mem device region size (hot-pluggable span above base memory).
+  uint64_t hotplug_region = GiB(8);
+  UnplugSelection unplug_selection = UnplugSelection::kAddressDescending;
+  // Virtual time at which the VM boots (microVMs boot mid-simulation).
+  TimeNs boot_time = 0;
+  // Emulate steady-state allocator scatter (see Zone).  The paper's Fig 6
+  // attributes vanilla unplug jitter to exactly this randomness.
+  bool shuffle_allocator = true;
+  uint64_t seed = 1;
+  DurationNs unplug_timeout = Sec(5);
+};
+
+struct TouchResult {
+  uint64_t bytes = 0;        // Bytes actually faulted in.
+  DurationNs latency = 0;    // Guest fault time + nested-fault (EPT) time.
+  DurationNs nested = 0;     // Portion spent in nested page faults.
+  bool oom = false;          // Allocation failed; process was OOM-killed.
+};
+
+class GuestKernel : public OwnerRegistry, public VirtioMemHooks {
+ public:
+  GuestKernel(const GuestConfig& config, Hypervisor* hv, CpuAccountant* cpu = nullptr);
+  ~GuestKernel() override;
+
+  // --- Topology --------------------------------------------------------------
+  MemMap& memmap() { return *memmap_; }
+  Zone& normal_zone() { return *normal_zone_; }
+  Zone& movable_zone() { return *movable_zone_; }
+  // Creates an extra zone (Squeezy partitions).  The kernel owns it.
+  Zone* CreateZone(ZoneType type, const std::string& name);
+  HotplugManager& hotplug() { return *hotplug_; }
+  VirtioMemDevice& virtio_mem() { return *virtio_; }
+  BalloonDevice& balloon() { return *balloon_; }
+  PageCache& page_cache() { return page_cache_; }
+  Hypervisor& hypervisor() { return *hv_; }
+  VmId vm_id() const { return vm_; }
+  const GuestConfig& config() const { return config_; }
+  const CostModel& cost() const { return hv_->cost(); }
+  Rng& rng() { return rng_; }
+
+  // First block index of the hot-pluggable device region.
+  BlockIndex hotplug_first_block() const { return hotplug_first_block_; }
+  uint32_t hotplug_nr_blocks() const { return hotplug_nr_blocks_; }
+
+  // Replaces the hot(un)plug policy (installed by SqueezyManager).
+  void SetVirtioHooks(VirtioMemHooks* hooks) { override_hooks_ = hooks; }
+  void SetLifecycleObserver(ProcessLifecycleObserver* obs) { lifecycle_ = obs; }
+
+  // --- Processes ---------------------------------------------------------------
+  Pid CreateProcess();
+  Pid Fork(Pid parent);
+  Process& process(Pid pid) { return *processes_[static_cast<size_t>(pid)]; }
+  bool Alive(Pid pid) const;
+  // Terminates the process, freeing all its anonymous memory.
+  void Exit(Pid pid);
+  size_t live_process_count() const { return live_processes_; }
+
+  // --- Fault paths ---------------------------------------------------------------
+  // Demand-faults `bytes` of anonymous memory (THP folios when possible).
+  // On allocation failure the process is OOM-killed (result.oom).
+  TouchResult TouchAnon(Pid pid, uint64_t bytes, TimeNs now);
+  // Reads `bytes` from the head of `file_id`: page-cache hits are remapped
+  // cheaply, misses pay IO + allocation.  File pages are shared across
+  // processes.
+  TouchResult TouchFile(Pid pid, int32_t file_id, uint64_t bytes, TimeNs now);
+  // Frees up to `bytes` of the process's anonymous memory (LIFO).
+  uint64_t FreeAnon(Pid pid, uint64_t bytes);
+
+  int32_t CreateFile(const std::string& name, uint64_t size_bytes);
+
+  // Zone used for anonymous faults of `proc` (partition override or
+  // movable, with normal fallback handled inside the fault path).
+  Zone* AnonZoneFor(const Process& proc);
+  // Zone used for file (page-cache) faults; Squeezy points this at the
+  // shared partition.
+  void SetFileZone(Zone* zone) { file_zone_ = zone; }
+  Zone* file_zone() { return file_zone_; }
+
+  // --- Memory elasticity ----------------------------------------------------------
+  PlugOutcome PlugMemory(uint64_t bytes, TimeNs now);
+  UnplugOutcome UnplugMemory(uint64_t bytes, TimeNs now);
+  BalloonOutcome BalloonReclaim(uint64_t bytes, TimeNs now);
+
+  // Marks every present frame host-populated (models a long-running,
+  // warmed-up VM whose memory the host already backs — the §6.2.1 static
+  // over-provisioned baseline).
+  void WarmAllHostBacking(TimeNs now);
+
+  // --- Accounting -------------------------------------------------------------------
+  // Total allocated bytes across all zones (the guest's view in Fig 1).
+  uint64_t allocated_bytes() const;
+  // Total bytes the guest currently has online (normal + movable + extra).
+  uint64_t online_bytes() const;
+
+  // --- OwnerRegistry ------------------------------------------------------------------
+  void RelocateFolio(PageKind kind, int32_t owner, uint32_t owner_slot, Pfn new_head) override;
+
+  // --- VirtioMemHooks (vanilla policy; delegates when overridden) ----------------------
+  std::vector<BlockIndex> SelectPlugBlocks(uint64_t max_blocks) override;
+  Zone* OnlineTargetZone(BlockIndex b) override;
+  void OnBlockOnline(BlockIndex b) override;
+  std::vector<BlockIndex> SelectUnplugBlocks(uint64_t max_blocks) override;
+  OfflineOptions OfflineOptionsFor(BlockIndex b) override;
+  Zone* BlockZone(BlockIndex b) override;
+  Zone* MigrationTarget(BlockIndex b) override;
+  void OnBlockUnplugged(BlockIndex b) override;
+
+ private:
+  // Backs [head, head+pages) with host memory where missing; returns the
+  // nested-fault latency (one exit per host-THP granule).
+  DurationNs PopulateHostBacking(Pfn head, uint32_t pages, TimeNs now);
+  void OomKill(Pid pid);
+
+  GuestConfig config_;
+  Hypervisor* hv_;
+  CpuAccountant* cpu_;
+  VmId vm_;
+  Rng rng_;
+
+  std::unique_ptr<MemMap> memmap_;
+  std::vector<std::unique_ptr<Zone>> zones_;
+  Zone* normal_zone_ = nullptr;
+  Zone* movable_zone_ = nullptr;
+  Zone* file_zone_ = nullptr;
+
+  std::unique_ptr<HotplugManager> hotplug_;
+  std::unique_ptr<VirtioMemDevice> virtio_;
+  std::unique_ptr<BalloonDevice> balloon_;
+  PageCache page_cache_;
+
+  BlockIndex hotplug_first_block_ = 0;
+  uint32_t hotplug_nr_blocks_ = 0;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  size_t live_processes_ = 0;
+
+  VirtioMemHooks* override_hooks_ = nullptr;
+  ProcessLifecycleObserver* lifecycle_ = nullptr;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_GUEST_GUEST_KERNEL_H_

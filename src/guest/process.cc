@@ -1,0 +1,58 @@
+#include "src/guest/process.h"
+
+#include <cassert>
+
+namespace squeezy {
+
+uint32_t Process::ReserveSlot() {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  folios_.push_back(FolioRef{});
+  return static_cast<uint32_t>(folios_.size()) - 1;
+}
+
+void Process::CommitSlot(uint32_t slot, Pfn head, uint8_t order) {
+  assert(folios_[slot].head == kInvalidPfn);
+  folios_[slot] = FolioRef{head, order};
+  anon_pages_ += 1u << order;
+}
+
+void Process::ReleaseSlot(uint32_t slot) {
+  assert(folios_[slot].head != kInvalidPfn);
+  anon_pages_ -= folios_[slot].pages();
+  folios_[slot] = FolioRef{};
+  free_slots_.push_back(slot);
+}
+
+void Process::AbandonSlot(uint32_t slot) {
+  assert(folios_[slot].head == kInvalidPfn);
+  free_slots_.push_back(slot);
+}
+
+bool Process::PopFolio(FolioRef* out) {
+  while (!folios_.empty()) {
+    const FolioRef last = folios_.back();
+    if (last.head == kInvalidPfn) {
+      // Dead slot at the tail: drop it and compact free_slots_ lazily.
+      folios_.pop_back();
+      for (size_t i = 0; i < free_slots_.size(); ++i) {
+        if (free_slots_[i] == folios_.size()) {
+          free_slots_[i] = free_slots_.back();
+          free_slots_.pop_back();
+          break;
+        }
+      }
+      continue;
+    }
+    *out = last;
+    anon_pages_ -= last.pages();
+    folios_.pop_back();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace squeezy

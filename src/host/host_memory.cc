@@ -1,0 +1,39 @@
+#include "src/host/host_memory.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace squeezy {
+
+HostMemory::HostMemory(uint64_t capacity_bytes) : capacity_(capacity_bytes) {
+  assert(capacity_bytes > 0);
+}
+
+bool HostMemory::TryReserve(uint64_t bytes, TimeNs now) {
+  if (committed_ + bytes > capacity_) {
+    return false;
+  }
+  committed_ += bytes;
+  committed_series_.Push(now, static_cast<double>(committed_));
+  return true;
+}
+
+void HostMemory::ReleaseReservation(uint64_t bytes, TimeNs now) {
+  assert(committed_ >= bytes);
+  committed_ -= bytes;
+  committed_series_.Push(now, static_cast<double>(committed_));
+}
+
+void HostMemory::Populate(uint64_t bytes, TimeNs now) {
+  populated_ += bytes;
+  populated_peak_ = std::max(populated_peak_, populated_);
+  populated_series_.Push(now, static_cast<double>(populated_));
+}
+
+void HostMemory::Unpopulate(uint64_t bytes, TimeNs now) {
+  assert(populated_ >= bytes);
+  populated_ -= bytes;
+  populated_series_.Push(now, static_cast<double>(populated_));
+}
+
+}  // namespace squeezy

@@ -1,0 +1,51 @@
+// Host physical memory accounting.
+//
+// Two books are kept, matching how a FaaS provider reasons about memory:
+//   * committed: worst-case reservations (a plugged partition may be fully
+//     touched, so admission control works on commitments);
+//   * populated: bytes actually backed by host frames (EPT-mapped), grown
+//     by nested faults and shrunk by madvise(MADV_DONTNEED) on unplug or
+//     balloon reports.
+#ifndef SQUEEZY_HOST_HOST_MEMORY_H_
+#define SQUEEZY_HOST_HOST_MEMORY_H_
+
+#include <cstdint>
+
+#include "src/metrics/time_series.h"
+#include "src/sim/time.h"
+
+namespace squeezy {
+
+class HostMemory {
+ public:
+  explicit HostMemory(uint64_t capacity_bytes);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t committed() const { return committed_; }
+  uint64_t populated() const { return populated_; }
+  uint64_t available() const { return capacity_ - committed_; }
+  uint64_t populated_peak() const { return populated_peak_; }
+
+  // Reserves `bytes` of commitment if they fit; false otherwise.
+  bool TryReserve(uint64_t bytes, TimeNs now);
+  // Releases commitment (unplug completed / VM shut down).
+  void ReleaseReservation(uint64_t bytes, TimeNs now);
+
+  void Populate(uint64_t bytes, TimeNs now);
+  void Unpopulate(uint64_t bytes, TimeNs now);
+
+  const StepSeries& committed_series() const { return committed_series_; }
+  const StepSeries& populated_series() const { return populated_series_; }
+
+ private:
+  uint64_t capacity_;
+  uint64_t committed_ = 0;
+  uint64_t populated_ = 0;
+  uint64_t populated_peak_ = 0;
+  StepSeries committed_series_;
+  StepSeries populated_series_;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_HOST_HOST_MEMORY_H_

@@ -1,0 +1,72 @@
+// Hypervisor (VMM) model: VM registry, VM-exit cost charging, EPT
+// population via nested page faults, and madvise-based release.
+//
+// The real system uses Cloud Hypervisor v38 on KVM; here the hypervisor is
+// a cost- and accounting-model.  Guest components call in on the events a
+// real VMM would see (first-touch faults, virtio kicks, unplug acks).
+#ifndef SQUEEZY_HOST_HYPERVISOR_H_
+#define SQUEEZY_HOST_HYPERVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/host/host_memory.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/cpu_accountant.h"
+#include "src/sim/time.h"
+
+namespace squeezy {
+
+using VmId = int32_t;
+
+struct VmStats {
+  std::string name;
+  uint32_t vcpus = 0;
+  uint64_t nested_faults = 0;
+  uint64_t exits = 0;
+  uint64_t populated_bytes = 0;
+  DurationNs exit_time = 0;
+};
+
+class Hypervisor {
+ public:
+  // `cpu` (optional, not owned) records host-side thread busy time under
+  // the thread name "vmm/<vm-name>".
+  Hypervisor(HostMemory* host, const CostModel* cost, CpuAccountant* cpu = nullptr);
+
+  VmId RegisterVm(const std::string& name, uint32_t vcpus);
+
+  // First guest touch of host-unpopulated memory: `extents` exits back
+  // `bytes` of guest memory (the guest fault path coalesces touches into
+  // host-THP granules).  Returns the fault-side latency charged to the
+  // guest vCPU.
+  DurationNs NestedFaultPopulate(VmId vm, uint64_t extents, uint64_t bytes, TimeNs now);
+
+  // Host acknowledgement of one unplugged 128 MiB block: VM exit +
+  // madvise(MADV_DONTNEED) of the populated span.
+  DurationNs AckUnplugBlock(VmId vm, uint64_t populated_bytes, TimeNs now);
+
+  // Balloon inflation report of `pages` guest pages (one exit per batch is
+  // charged by the balloon device; this handles release accounting).
+  DurationNs BalloonRelease(VmId vm, uint64_t pages, TimeNs now);
+
+  // VM teardown: releases all populated memory (1:1 model scale-down).
+  void ReleaseAllPopulated(VmId vm, TimeNs now);
+
+  const VmStats& stats(VmId vm) const { return vms_[static_cast<size_t>(vm)]; }
+  HostMemory* host() { return host_; }
+  const CostModel& cost() const { return *cost_; }
+
+ private:
+  void ChargeHostThread(VmId vm, TimeNs now, DurationNs busy);
+
+  HostMemory* host_;
+  const CostModel* cost_;
+  CpuAccountant* cpu_;
+  std::vector<VmStats> vms_;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_HOST_HYPERVISOR_H_

@@ -1,0 +1,92 @@
+#include "src/hotplug/virtio_mem.h"
+
+#include <cassert>
+
+namespace squeezy {
+
+VirtioMemDevice::VirtioMemDevice(const VirtioMemConfig& config, HotplugManager* hotplug,
+                                 VirtioMemHooks* hooks, CpuAccountant* cpu)
+    : config_(config), hotplug_(hotplug), hooks_(hooks), cpu_(cpu) {
+  assert(hotplug_ != nullptr && hooks_ != nullptr);
+  assert(config_.nr_blocks > 0);
+}
+
+PlugOutcome VirtioMemDevice::Plug(uint64_t bytes, TimeNs now) {
+  PlugOutcome out;
+  const uint64_t want = BytesToBlocks(bytes);
+  MemMap* mm = hotplug_->memmap();
+
+  out.latency += hotplug_->cost().plug_request_fixed;
+  for (const BlockIndex b : hooks_->SelectPlugBlocks(want)) {
+    if (out.blocks.size() >= want) {
+      break;
+    }
+    assert(mm->block_state(b) == BlockState::kAbsent);
+    out.latency += hotplug_->HotAddBlock(b);
+    Zone* zone = hooks_->OnlineTargetZone(b);
+    assert(zone != nullptr);
+    out.latency += hotplug_->OnlineBlock(b, zone);
+    hooks_->OnBlockOnline(b);
+    out.blocks.push_back(b);
+    ++plugged_blocks_;
+  }
+  out.bytes_plugged = out.blocks.size() * kMemoryBlockBytes;
+  out.complete = out.blocks.size() == want;
+  if (cpu_ != nullptr && out.latency > 0) {
+    cpu_->AddBusy(config_.guest_thread, now, out.latency);
+  }
+  return out;
+}
+
+UnplugOutcome VirtioMemDevice::Unplug(uint64_t bytes, TimeNs now) {
+  UnplugOutcome out;
+  const uint64_t want = BytesToBlocks(bytes);
+  out.breakdown.rest += hotplug_->cost().unplug_request_fixed;
+
+  // The driver asks the policy for candidates.  Vanilla Linux scans the
+  // device region; Squeezy hands back the blocks of empty partitions.
+  const std::vector<BlockIndex> candidates = hooks_->SelectUnplugBlocks(want);
+  for (const BlockIndex b : candidates) {
+    if (out.blocks_unplugged >= want) {
+      break;
+    }
+    if (out.breakdown.total() > config_.unplug_timeout) {
+      out.timed_out = true;
+      break;
+    }
+    Zone* zone = hooks_->BlockZone(b);
+    const OfflineOptions opts = hooks_->OfflineOptionsFor(b);
+    Zone* target = opts.allow_migration ? hooks_->MigrationTarget(b) : zone;
+    const OfflineResult res = hotplug_->OfflineBlock(b, zone, target, opts, now);
+    out.breakdown.Add(res.breakdown);
+    out.pages_migrated += res.pages_migrated;
+    if (!res.ok) {
+      continue;  // Try the next candidate (Linux behaves the same way).
+    }
+    // The guest-side offline succeeded; tear down and acknowledge.
+    hotplug_->HotRemoveBlock(b, &out.breakdown, now);
+    hooks_->OnBlockUnplugged(b);
+    ++out.blocks_unplugged;
+    assert(plugged_blocks_ > 0);
+    --plugged_blocks_;
+  }
+
+  out.bytes_unplugged = out.blocks_unplugged * kMemoryBlockBytes;
+  out.complete = out.blocks_unplugged >= want;
+  total_unplugged_bytes_ += out.bytes_unplugged;
+  total_unplug_time_ += out.breakdown.total();
+
+  if (cpu_ != nullptr) {
+    // Guest kernel thread: everything except the host-side exit slice.
+    const DurationNs guest_busy = out.breakdown.total() - out.breakdown.vm_exits;
+    if (guest_busy > 0) {
+      cpu_->AddBusy(config_.guest_thread, now, guest_busy);
+    }
+    if (out.breakdown.vm_exits > 0) {
+      cpu_->AddBusy(config_.host_thread, now + guest_busy, out.breakdown.vm_exits);
+    }
+  }
+  return out;
+}
+
+}  // namespace squeezy

@@ -1,0 +1,118 @@
+// virtio-mem device + guest driver model.
+//
+// The device owns a contiguous hot(un)pluggable region of guest physical
+// space, sliced into 128 MiB blocks.  The hypervisor adjusts the device's
+// requested size; the guest driver plugs or unplugs whole blocks to
+// converge, using the kernel hot(un)plug pipeline (HotplugManager).
+//
+// Policy differences between vanilla Linux and Squeezy are expressed via
+// VirtioMemHooks: which zone a freshly plugged block onlines into, which
+// blocks are candidates for unplug, and whether offline may migrate.
+#ifndef SQUEEZY_HOTPLUG_VIRTIO_MEM_H_
+#define SQUEEZY_HOTPLUG_VIRTIO_MEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hotplug/hotplug.h"
+#include "src/mm/memmap.h"
+#include "src/mm/zone.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/cpu_accountant.h"
+
+namespace squeezy {
+
+class VirtioMemHooks {
+ public:
+  virtual ~VirtioMemHooks() = default;
+
+  // Up to `max_blocks` plug candidates, in order (must be kAbsent).
+  // Vanilla picks the lowest absent blocks; Squeezy returns the blocks of
+  // the partitions it wants populated.
+  virtual std::vector<BlockIndex> SelectPlugBlocks(uint64_t max_blocks) = 0;
+  // Zone a freshly hot-added block should online into.
+  virtual Zone* OnlineTargetZone(BlockIndex b) = 0;
+  // Notification after the block is online (Squeezy: populate partition,
+  // wake waiters).
+  virtual void OnBlockOnline(BlockIndex /*b*/) {}
+
+  // Up to `max_blocks` unplug candidates, best-first.  The driver offlines
+  // them in order until the request is met.
+  virtual std::vector<BlockIndex> SelectUnplugBlocks(uint64_t max_blocks) = 0;
+  virtual OfflineOptions OfflineOptionsFor(BlockIndex b) = 0;
+  // Zone that owns the block's pages (offline source).
+  virtual Zone* BlockZone(BlockIndex b) = 0;
+  // Where evacuated folios go (vanilla: same zone; unused when migration
+  // is forbidden).
+  virtual Zone* MigrationTarget(BlockIndex b) = 0;
+  // Notification after a block went offline+removed (Squeezy: mark the
+  // partition empty/unplugged).
+  virtual void OnBlockUnplugged(BlockIndex /*b*/) {}
+};
+
+struct VirtioMemConfig {
+  BlockIndex first_block = 0;  // Device region start (block index).
+  uint32_t nr_blocks = 0;      // Device region size in blocks.
+  // Abort an unplug request once its accumulated latency exceeds this
+  // (Linux virtio-mem retries with timeouts; under memory pressure the
+  // request completes partially — paper §6.2.2).
+  DurationNs unplug_timeout = Sec(5);
+  // Thread names for CPU accounting.
+  std::string guest_thread = "virtio_mem/guest";
+  std::string host_thread = "virtio_mem/host";
+};
+
+struct PlugOutcome {
+  uint64_t bytes_plugged = 0;
+  DurationNs latency = 0;
+  std::vector<BlockIndex> blocks;
+  bool complete = false;
+};
+
+struct UnplugOutcome {
+  uint64_t bytes_unplugged = 0;
+  uint64_t blocks_unplugged = 0;
+  uint64_t pages_migrated = 0;
+  UnplugBreakdown breakdown;
+  bool complete = false;
+  bool timed_out = false;
+
+  DurationNs latency() const { return breakdown.total(); }
+};
+
+class VirtioMemDevice {
+ public:
+  VirtioMemDevice(const VirtioMemConfig& config, HotplugManager* hotplug, VirtioMemHooks* hooks,
+                  CpuAccountant* cpu = nullptr);
+
+  // Plug `bytes` (rounded up to whole blocks).  Picks the lowest absent
+  // blocks in the device region.  `now` anchors CPU accounting.
+  PlugOutcome Plug(uint64_t bytes, TimeNs now);
+
+  // Unplug `bytes` (rounded up to whole blocks).  Offlines candidate
+  // blocks until satisfied, the candidates run out, or the timeout hits.
+  UnplugOutcome Unplug(uint64_t bytes, TimeNs now);
+
+  uint64_t plugged_bytes() const { return static_cast<uint64_t>(plugged_blocks_) * kMemoryBlockBytes; }
+  uint32_t plugged_blocks() const { return plugged_blocks_; }
+  uint64_t region_bytes() const { return static_cast<uint64_t>(config_.nr_blocks) * kMemoryBlockBytes; }
+  const VirtioMemConfig& config() const { return config_; }
+
+  // Lifetime unplug stats (for throughput reporting).
+  uint64_t total_unplugged_bytes() const { return total_unplugged_bytes_; }
+  DurationNs total_unplug_time() const { return total_unplug_time_; }
+
+ private:
+  VirtioMemConfig config_;
+  HotplugManager* hotplug_;
+  VirtioMemHooks* hooks_;
+  CpuAccountant* cpu_;
+  uint32_t plugged_blocks_ = 0;
+  uint64_t total_unplugged_bytes_ = 0;
+  DurationNs total_unplug_time_ = 0;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_HOTPLUG_VIRTIO_MEM_H_

@@ -1,0 +1,50 @@
+#include "src/metrics/csv.h"
+
+#include <filesystem>
+
+namespace squeezy {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path) {
+  const std::filesystem::path p(path);
+  std::error_code ec;
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  out_.open(path);
+  ok_ = out_.good();
+  if (ok_) {
+    WriteRow(header);
+  }
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    const std::string& c = cells[i];
+    if (c.find_first_of(",\"\n") != std::string::npos) {
+      out_ << '"';
+      for (const char ch : c) {
+        if (ch == '"') {
+          out_ << "\"\"";
+        } else {
+          out_ << ch;
+        }
+      }
+      out_ << '"';
+    } else {
+      out_ << c;
+    }
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  if (ok_) {
+    WriteRow(cells);
+  }
+}
+
+}  // namespace squeezy

@@ -1,0 +1,34 @@
+// CSV emission for benchmark results (one file per figure series).
+#ifndef SQUEEZY_METRICS_CSV_H_
+#define SQUEEZY_METRICS_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace squeezy {
+
+// Writes rows to a CSV file.  Creates parent directory "bench_results/"
+// lazily.  Cells containing commas/quotes are quoted.
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row.  If the file cannot
+  // be opened (e.g. read-only filesystem) the writer degrades to a no-op
+  // so benchmarks still run.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void AddRow(const std::vector<std::string>& cells);
+  bool ok() const { return ok_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void WriteRow(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  bool ok_ = false;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_METRICS_CSV_H_

@@ -1,0 +1,65 @@
+#include "src/metrics/latency_recorder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace squeezy {
+
+void LatencyRecorder::Record(DurationNs sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sorted_valid_ = false;
+}
+
+void LatencyRecorder::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+DurationNs LatencyRecorder::Min() const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  return sorted_.front();
+}
+
+DurationNs LatencyRecorder::Max() const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  return sorted_.back();
+}
+
+DurationNs LatencyRecorder::Mean() const {
+  assert(!samples_.empty());
+  return sum_ / static_cast<DurationNs>(samples_.size());
+}
+
+DurationNs LatencyRecorder::Percentile(double p) const {
+  assert(!samples_.empty());
+  assert(p > 0.0 && p <= 100.0);
+  EnsureSorted();
+  const size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(sorted_.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+void LatencyRecorder::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  sum_ = 0;
+}
+
+double Geomean(const std::vector<double>& values) {
+  assert(!values.empty());
+  double log_sum = 0.0;
+  for (const double v : values) {
+    assert(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace squeezy

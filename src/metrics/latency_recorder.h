@@ -1,0 +1,45 @@
+// Latency sample collection with percentile queries.
+#ifndef SQUEEZY_METRICS_LATENCY_RECORDER_H_
+#define SQUEEZY_METRICS_LATENCY_RECORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace squeezy {
+
+// Collects duration samples; percentiles use nearest-rank on a lazily
+// sorted copy so recording stays O(1).
+class LatencyRecorder {
+ public:
+  void Record(DurationNs sample);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  DurationNs Min() const;
+  DurationNs Max() const;
+  DurationNs Mean() const;
+  // p in (0, 100]; nearest-rank percentile.  P(50), P(99), ...
+  DurationNs Percentile(double p) const;
+  DurationNs Sum() const { return sum_; }
+
+  const std::vector<DurationNs>& samples() const { return samples_; }
+  void Clear();
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<DurationNs> samples_;
+  mutable std::vector<DurationNs> sorted_;
+  mutable bool sorted_valid_ = false;
+  DurationNs sum_ = 0;
+};
+
+// Geometric mean of a set of ratios/values (> 0).
+double Geomean(const std::vector<double>& values);
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_METRICS_LATENCY_RECORDER_H_

@@ -1,0 +1,38 @@
+// Aligned ASCII table printing for benchmark output.
+#ifndef SQUEEZY_METRICS_TABLE_H_
+#define SQUEEZY_METRICS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace squeezy {
+
+// Collects rows of string cells and prints them with per-column
+// alignment.  Numeric-looking cells are right-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Inserts a horizontal rule before the next row.
+  void AddRule();
+
+  void Print(std::ostream& os) const;
+
+  // Formatting helpers for cells.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+
+ private:
+  struct Row {
+    bool rule = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_METRICS_TABLE_H_

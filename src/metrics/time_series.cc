@@ -1,0 +1,75 @@
+#include "src/metrics/time_series.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace squeezy {
+
+void StepSeries::Push(TimeNs t, double value) {
+  assert(points_.empty() || t >= points_.back().t);
+  if (!points_.empty() && points_.back().t == t) {
+    points_.back().value = value;  // Same-instant update supersedes.
+    return;
+  }
+  points_.push_back({t, value});
+}
+
+size_t StepSeries::FloorIndex(TimeNs t) const {
+  // First point with t' > t, then step back.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](TimeNs lhs, const Point& rhs) { return lhs < rhs.t; });
+  if (it == points_.begin()) {
+    return static_cast<size_t>(-1);
+  }
+  return static_cast<size_t>(it - points_.begin()) - 1;
+}
+
+double StepSeries::At(TimeNs t) const {
+  const size_t idx = FloorIndex(t);
+  return idx == static_cast<size_t>(-1) ? 0.0 : points_[idx].value;
+}
+
+double StepSeries::Max() const {
+  double best = 0.0;
+  for (const Point& p : points_) {
+    best = std::max(best, p.value);
+  }
+  return best;
+}
+
+double StepSeries::IntegralSec(TimeNs from, TimeNs to) const {
+  assert(to >= from);
+  if (points_.empty() || to == from) {
+    return 0.0;
+  }
+  double total = 0.0;
+  TimeNs cursor = from;
+  double value = At(from);
+  size_t idx = FloorIndex(from);
+  // Walk the change points inside (from, to].
+  for (size_t i = (idx == static_cast<size_t>(-1)) ? 0 : idx + 1; i < points_.size(); ++i) {
+    const Point& p = points_[i];
+    if (p.t >= to) {
+      break;
+    }
+    if (p.t > cursor) {
+      total += value * ToSec(p.t - cursor);
+      cursor = p.t;
+    }
+    value = p.value;
+  }
+  total += value * ToSec(to - cursor);
+  return total;
+}
+
+std::vector<double> StepSeries::Resample(TimeNs from, TimeNs to, DurationNs step) const {
+  assert(step > 0);
+  std::vector<double> out;
+  for (TimeNs t = from; t <= to; t += step) {
+    out.push_back(At(t));
+  }
+  return out;
+}
+
+}  // namespace squeezy

@@ -1,0 +1,49 @@
+// Piecewise-constant time series (memory usage, instance counts).
+#ifndef SQUEEZY_METRICS_TIME_SERIES_H_
+#define SQUEEZY_METRICS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace squeezy {
+
+// A step function of time: the value set at time t holds until the next
+// sample.  Samples must be pushed in non-decreasing time order.
+class StepSeries {
+ public:
+  void Push(TimeNs t, double value);
+
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  // Value at time t (0 before the first sample).
+  double At(TimeNs t) const;
+
+  // Max value over the whole series.
+  double Max() const;
+
+  // Integral of value over [from, to] in value*seconds (e.g. GiB*s when the
+  // series holds GiB).
+  double IntegralSec(TimeNs from, TimeNs to) const;
+
+  // Resample at fixed `step` intervals over [from, to] inclusive.
+  std::vector<double> Resample(TimeNs from, TimeNs to, DurationNs step) const;
+
+  struct Point {
+    TimeNs t;
+    double value;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  // Index of the last point with t <= query (or npos).
+  size_t FloorIndex(TimeNs t) const;
+
+  std::vector<Point> points_;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_METRICS_TIME_SERIES_H_

@@ -1,0 +1,78 @@
+#include "src/mm/memmap.h"
+
+#include <cassert>
+
+namespace squeezy {
+
+MemMap::MemMap(uint64_t span_bytes) {
+  const uint64_t blocks = BytesToBlocks(span_bytes);
+  assert(blocks > 0);
+  assert(blocks * kPagesPerBlock < kInvalidPfn);
+  pages_.resize(blocks * kPagesPerBlock);
+  blocks_.assign(blocks, BlockState::kAbsent);
+  allocated_per_block_.assign(blocks, 0);
+}
+
+void MemMap::InitBlock(BlockIndex b) {
+  assert(blocks_[b] == BlockState::kAbsent);
+  const Pfn start = BlockStart(b);
+  for (Pfn pfn = start; pfn < start + kPagesPerBlock; ++pfn) {
+    Page& p = pages_[pfn];
+    assert(p.state == PageState::kHole);
+    p = Page{};
+    p.state = PageState::kOffline;
+  }
+  blocks_[b] = BlockState::kPresent;
+}
+
+void MemMap::TeardownBlock(BlockIndex b) {
+  assert(blocks_[b] == BlockState::kOffline || blocks_[b] == BlockState::kPresent);
+  const Pfn start = BlockStart(b);
+  for (Pfn pfn = start; pfn < start + kPagesPerBlock; ++pfn) {
+    Page& p = pages_[pfn];
+    assert(p.state == PageState::kOffline);
+    // Host population survives guest-side teardown only conceptually; the
+    // hypervisor clears it via madvise when it reclaims the range.
+    const bool populated = p.host_populated;
+    p = Page{};
+    p.state = PageState::kHole;
+    p.host_populated = populated;
+  }
+  blocks_[b] = BlockState::kAbsent;
+}
+
+uint64_t MemMap::CountBlockPages(BlockIndex b, PageState state) const {
+  const Pfn start = BlockStart(b);
+  uint64_t n = 0;
+  for (Pfn pfn = start; pfn < start + kPagesPerBlock; ++pfn) {
+    if (pages_[pfn].state == state) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Pfn MemMap::FolioHead(Pfn pfn) const {
+  // Walk down to the aligned head: heads are naturally aligned, so clear
+  // low bits until we find the flagged head page.
+  for (uint8_t order = 0; order <= kMaxPageOrder; ++order) {
+    const Pfn candidate = pfn & ~((1u << order) - 1);
+    if (pages_[candidate].head) {
+      return candidate;
+    }
+  }
+  assert(false && "no folio head found");
+  return kInvalidPfn;
+}
+
+uint32_t MemMap::CountBlocks(BlockState s) const {
+  uint32_t n = 0;
+  for (const BlockState b : blocks_) {
+    if (b == s) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace squeezy

@@ -1,0 +1,78 @@
+// The guest memory map: a flat `struct page` array over the managed guest
+// physical span plus the hotplug memory-block state machine (Linux adds
+// and removes memory in 128 MiB blocks on x86).
+#ifndef SQUEEZY_MM_MEMMAP_H_
+#define SQUEEZY_MM_MEMMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mm/page.h"
+#include "src/sim/cost_model.h"
+
+namespace squeezy {
+
+using BlockIndex = uint32_t;
+
+enum class BlockState : uint8_t {
+  kAbsent,        // No memory behind the block (never added / removed).
+  kPresent,       // Hot-added: memmap initialized, pages offline.
+  kOnline,        // Pages released to a zone's allocator.
+  kGoingOffline,  // Offlining in progress (pages isolating/migrating).
+  kOffline,       // Pages retracted from the allocator, still present.
+};
+
+class MemMap {
+ public:
+  // Creates the map for a guest span of `span_bytes` (rounded up to whole
+  // 128 MiB blocks).  All blocks start kAbsent.
+  explicit MemMap(uint64_t span_bytes);
+
+  MemMap(const MemMap&) = delete;
+  MemMap& operator=(const MemMap&) = delete;
+
+  uint64_t span_pages() const { return pages_.size(); }
+  uint32_t block_count() const { return static_cast<uint32_t>(blocks_.size()); }
+
+  Page& page(Pfn pfn) { return pages_[pfn]; }
+  const Page& page(Pfn pfn) const { return pages_[pfn]; }
+
+  BlockState block_state(BlockIndex b) const { return blocks_[b]; }
+  void set_block_state(BlockIndex b, BlockState s) { blocks_[b] = s; }
+
+  static BlockIndex BlockOf(Pfn pfn) { return pfn / kPagesPerBlock; }
+  static Pfn BlockStart(BlockIndex b) { return b * kPagesPerBlock; }
+
+  // Hot-add: initialize the block's memmap entries (kHole -> kOffline).
+  void InitBlock(BlockIndex b);
+  // Hot-remove: tear down memmap entries (-> kHole).  Requires every page
+  // to be kOffline.
+  void TeardownBlock(BlockIndex b);
+
+  // Number of pages in the block with the given state (O(block) scan; the
+  // tests use it to cross-check the incremental counter below).
+  uint64_t CountBlockPages(BlockIndex b, PageState state) const;
+
+  // Incrementally maintained count of allocated pages per block, updated
+  // by the zone allocator.  O(1); unplug candidate selection depends on it.
+  uint32_t BlockOccupied(BlockIndex b) const { return allocated_per_block_[b]; }
+  void AdjustBlockAllocated(Pfn head, int64_t delta_pages) {
+    const BlockIndex b = BlockOf(head);
+    allocated_per_block_[b] = static_cast<uint32_t>(allocated_per_block_[b] + delta_pages);
+  }
+
+  // Resolve a folio's head pfn from any of its frames.
+  Pfn FolioHead(Pfn pfn) const;
+
+  // Count of blocks in each state (diagnostics).
+  uint32_t CountBlocks(BlockState s) const;
+
+ private:
+  std::vector<Page> pages_;
+  std::vector<BlockState> blocks_;
+  std::vector<uint32_t> allocated_per_block_;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_MM_MEMMAP_H_

@@ -1,0 +1,51 @@
+// Page migration: evacuating occupied folios out of an offlining range.
+//
+// This is the operation whose cost dominates vanilla virtio-mem unplug in
+// the paper (61.5% of unplug latency on average, Fig 5) and whose CPU
+// consumption interferes with co-located instances (Fig 7/9).  Squeezy's
+// whole point is to never need it on the reclaim path.
+#ifndef SQUEEZY_MM_MIGRATION_H_
+#define SQUEEZY_MM_MIGRATION_H_
+
+#include <cstdint>
+
+#include "src/mm/memmap.h"
+#include "src/mm/zone.h"
+#include "src/sim/cost_model.h"
+
+namespace squeezy {
+
+// Consumers that track folio locations (processes, the page cache)
+// implement this so migration can patch their tables in O(1).
+class OwnerRegistry {
+ public:
+  virtual ~OwnerRegistry() = default;
+  // The folio identified by (kind, owner, owner_slot) now lives at
+  // `new_head`.
+  virtual void RelocateFolio(PageKind kind, int32_t owner, uint32_t owner_slot, Pfn new_head) = 0;
+};
+
+struct MigrateOutcome {
+  bool ok = true;               // False: unmovable page or target exhaustion.
+  uint64_t folios_moved = 0;
+  uint64_t pages_moved = 0;
+  // Target frames that gained host backing during the copies (the caller
+  // must charge these to the hypervisor's population books; the latency is
+  // already folded into migrate_page).
+  uint64_t pages_newly_backed = 0;
+  DurationNs cost = 0;          // Guest CPU time consumed by the copies.
+};
+
+// Moves every allocated folio in [start, start + npages) into free space
+// of `target_zone`.  The range's free pages must already be isolated so
+// the target allocation cannot land back inside the range.  Folio frames
+// vacated in the range go straight to kIsolated.
+//
+// On failure the outcome reports the partial progress; the caller decides
+// whether to undo the isolation (offline abort).
+MigrateOutcome MigrateOutOfRange(MemMap& memmap, Zone& src_zone, Zone& target_zone, Pfn start,
+                                 uint64_t npages, const CostModel& cost, OwnerRegistry* owners);
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_MM_MIGRATION_H_

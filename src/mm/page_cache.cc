@@ -1,0 +1,53 @@
+#include "src/mm/page_cache.h"
+
+#include <cassert>
+
+namespace squeezy {
+
+int32_t PageCache::RegisterFile(std::string name, uint64_t size_bytes) {
+  File f;
+  f.name = std::move(name);
+  f.size_bytes = size_bytes;
+  f.pages.assign(BytesToPages(size_bytes), kInvalidPfn);
+  files_.push_back(std::move(f));
+  return static_cast<int32_t>(files_.size()) - 1;
+}
+
+uint64_t PageCache::FilePages(int32_t file) const {
+  return files_[static_cast<size_t>(file)].pages.size();
+}
+
+bool PageCache::Cached(int32_t file, uint64_t page_idx) const {
+  return files_[static_cast<size_t>(file)].pages[page_idx] != kInvalidPfn;
+}
+
+Pfn PageCache::Lookup(int32_t file, uint64_t page_idx) const {
+  return files_[static_cast<size_t>(file)].pages[page_idx];
+}
+
+void PageCache::Insert(int32_t file, uint64_t page_idx, Pfn pfn) {
+  File& f = files_[static_cast<size_t>(file)];
+  assert(f.pages[page_idx] == kInvalidPfn);
+  f.pages[page_idx] = pfn;
+  ++f.cached;
+  ++total_cached_;
+}
+
+void PageCache::Relocate(int32_t file, uint64_t page_idx, Pfn new_pfn) {
+  File& f = files_[static_cast<size_t>(file)];
+  assert(f.pages[page_idx] != kInvalidPfn);
+  f.pages[page_idx] = new_pfn;
+}
+
+Pfn PageCache::Remove(int32_t file, uint64_t page_idx) {
+  File& f = files_[static_cast<size_t>(file)];
+  const Pfn old = f.pages[page_idx];
+  assert(old != kInvalidPfn);
+  f.pages[page_idx] = kInvalidPfn;
+  assert(f.cached > 0 && total_cached_ > 0);
+  --f.cached;
+  --total_cached_;
+  return old;
+}
+
+}  // namespace squeezy

@@ -1,0 +1,54 @@
+// Guest page cache: file -> resident page mapping.
+//
+// File-backed memory (container rootfs, language runtimes, model files) is
+// faulted in once and shared by every instance that maps it.  Under
+// Squeezy these pages live in the dedicated shared partition; in a vanilla
+// VM they live in ZONE_MOVABLE interleaved with anonymous memory.
+#ifndef SQUEEZY_MM_PAGE_CACHE_H_
+#define SQUEEZY_MM_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mm/page.h"
+#include "src/sim/cost_model.h"
+
+namespace squeezy {
+
+class PageCache {
+ public:
+  // Registers a file of `size_bytes`; returns its file id.
+  int32_t RegisterFile(std::string name, uint64_t size_bytes);
+
+  uint64_t FilePages(int32_t file) const;
+  uint64_t file_size(int32_t file) const { return files_[file].size_bytes; }
+  const std::string& file_name(int32_t file) const { return files_[file].name; }
+  size_t file_count() const { return files_.size(); }
+
+  bool Cached(int32_t file, uint64_t page_idx) const;
+  Pfn Lookup(int32_t file, uint64_t page_idx) const;
+  void Insert(int32_t file, uint64_t page_idx, Pfn pfn);
+  // Migration callback: page `page_idx` of `file` moved to `new_pfn`.
+  void Relocate(int32_t file, uint64_t page_idx, Pfn new_pfn);
+  // Forgets the mapping (caller frees the page).  Returns the old pfn.
+  Pfn Remove(int32_t file, uint64_t page_idx);
+
+  uint64_t cached_pages(int32_t file) const { return files_[file].cached; }
+  uint64_t total_cached_pages() const { return total_cached_; }
+  uint64_t total_cached_bytes() const { return PagesToBytes(total_cached_); }
+
+ private:
+  struct File {
+    std::string name;
+    uint64_t size_bytes = 0;
+    uint64_t cached = 0;
+    std::vector<Pfn> pages;  // Indexed by page_idx; kInvalidPfn = absent.
+  };
+  std::vector<File> files_;
+  uint64_t total_cached_ = 0;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_MM_PAGE_CACHE_H_

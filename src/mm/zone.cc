@@ -1,0 +1,359 @@
+#include "src/mm/zone.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace squeezy {
+
+const char* ZoneTypeName(ZoneType t) {
+  switch (t) {
+    case ZoneType::kNormal:
+      return "Normal";
+    case ZoneType::kMovable:
+      return "Movable";
+    case ZoneType::kSqueezyPrivate:
+      return "SqueezyPrivate";
+    case ZoneType::kSqueezyShared:
+      return "SqueezyShared";
+  }
+  return "?";
+}
+
+Zone::Zone(int16_t id, ZoneType type, std::string name, MemMap* memmap, Rng* shuffle_rng)
+    : id_(id), type_(type), name_(std::move(name)), memmap_(memmap), shuffle_rng_(shuffle_rng) {
+  assert(memmap_ != nullptr);
+}
+
+void Zone::ListPushFront(uint8_t order, Pfn pfn) {
+  FreeArea& area = areas_[order];
+  Page& p = memmap_->page(pfn);
+  p.prev_free = kInvalidPfn;
+  p.next_free = area.head;
+  if (area.head != kInvalidPfn) {
+    memmap_->page(area.head).prev_free = pfn;
+  } else {
+    area.tail = pfn;
+  }
+  area.head = pfn;
+  ++area.nr_free;
+}
+
+void Zone::ListPushBack(uint8_t order, Pfn pfn) {
+  FreeArea& area = areas_[order];
+  Page& p = memmap_->page(pfn);
+  p.next_free = kInvalidPfn;
+  p.prev_free = area.tail;
+  if (area.tail != kInvalidPfn) {
+    memmap_->page(area.tail).next_free = pfn;
+  } else {
+    area.head = pfn;
+  }
+  area.tail = pfn;
+  ++area.nr_free;
+}
+
+void Zone::ListRemove(uint8_t order, Pfn pfn) {
+  FreeArea& area = areas_[order];
+  Page& p = memmap_->page(pfn);
+  if (p.prev_free != kInvalidPfn) {
+    memmap_->page(p.prev_free).next_free = p.next_free;
+  } else {
+    assert(area.head == pfn);
+    area.head = p.next_free;
+  }
+  if (p.next_free != kInvalidPfn) {
+    memmap_->page(p.next_free).prev_free = p.prev_free;
+  } else {
+    assert(area.tail == pfn);
+    area.tail = p.prev_free;
+  }
+  p.next_free = kInvalidPfn;
+  p.prev_free = kInvalidPfn;
+  assert(area.nr_free > 0);
+  --area.nr_free;
+}
+
+Pfn Zone::ListPopFront(uint8_t order) {
+  FreeArea& area = areas_[order];
+  if (area.head == kInvalidPfn) {
+    return kInvalidPfn;
+  }
+  const Pfn pfn = area.head;
+  ListRemove(order, pfn);
+  return pfn;
+}
+
+void Zone::StampFreeChunk(Pfn pfn, uint8_t order) {
+  const uint32_t n = 1u << order;
+  for (uint32_t i = 0; i < n; ++i) {
+    Page& p = memmap_->page(pfn + i);
+    p.state = PageState::kFree;
+    p.kind = PageKind::kNone;
+    p.head = (i == 0);
+    p.order = order;
+    p.zone_id = id_;
+    p.owner = kNoOwner;
+    p.owner_slot = 0;
+  }
+}
+
+void Zone::FreeChunk(Pfn pfn, uint8_t order, bool fresh) {
+  assert((pfn & ((1u << order) - 1)) == 0 && "chunk must be naturally aligned");
+  // Coalesce with the buddy while possible.
+  while (order < kMaxPageOrder) {
+    const Pfn buddy = pfn ^ (1u << order);
+    if (buddy >= memmap_->span_pages()) {
+      break;
+    }
+    const Page& bp = memmap_->page(buddy);
+    if (bp.state != PageState::kFree || !bp.head || bp.order != order || bp.zone_id != id_) {
+      break;
+    }
+    ListRemove(order, buddy);
+    memmap_->page(buddy).head = false;
+    pfn = std::min(pfn, buddy);
+    ++order;
+  }
+  StampFreeChunk(pfn, order);
+  // Insertion policy mirrors Linux behaviour closely enough for placement
+  // realism: freshly onlined memory queues at the tail (a new zone hands
+  // out ascending addresses) — randomized in shuffled zones (the
+  // SHUFFLE_PAGE_ALLOCATOR effect) — while runtime frees always go to the
+  // head: the kernel reuses recently-freed (host-backed, cache-hot) pages
+  // first, which keeps a VM's host footprint near its high watermark
+  // instead of creeping across the whole region.
+  if (fresh && shuffle_rng_ != nullptr && shuffle_rng_->Chance(0.5)) {
+    ListPushFront(order, pfn);
+  } else if (fresh) {
+    ListPushBack(order, pfn);
+  } else {
+    ListPushFront(order, pfn);
+  }
+}
+
+void Zone::AddFreeRange(Pfn start, uint64_t npages) {
+  // Attribute pages to this zone first.
+  for (Pfn pfn = start; pfn < start + npages; ++pfn) {
+    Page& p = memmap_->page(pfn);
+    assert(p.state == PageState::kOffline);
+    p.zone_id = id_;
+  }
+  present_pages_ += npages;
+  managed_pages_ += npages;
+  free_pages_ += npages;
+
+  // Free maximal naturally-aligned chunks.
+  std::vector<std::pair<Pfn, uint8_t>> chunks;
+  Pfn pfn = start;
+  uint64_t remaining = npages;
+  while (remaining > 0) {
+    uint8_t order = kMaxPageOrder;
+    while (order > 0 && (((pfn & ((1u << order) - 1)) != 0) || ((1u << order) > remaining))) {
+      --order;
+    }
+    chunks.push_back({pfn, order});
+    pfn += 1u << order;
+    remaining -= 1u << order;
+  }
+  // Linux's shuffle_page_allocator randomizes the free-list order of
+  // onlined memory so steady-state allocations scatter across blocks;
+  // that scatter is what makes vanilla unplug migrate (paper §2.2).
+  if (shuffle_rng_ != nullptr) {
+    shuffle_rng_->Shuffle(chunks.begin(), chunks.end());
+  }
+  for (const auto& [chunk_pfn, chunk_order] : chunks) {
+    FreeChunk(chunk_pfn, chunk_order, /*fresh=*/true);
+  }
+}
+
+Pfn Zone::Alloc(uint8_t order, PageKind kind, int32_t owner, uint32_t owner_slot) {
+  assert(order <= kMaxPageOrder);
+  // Find the smallest order with a free chunk.
+  uint8_t from = order;
+  while (from <= kMaxPageOrder && areas_[from].nr_free == 0) {
+    ++from;
+  }
+  if (from > kMaxPageOrder) {
+    return kInvalidPfn;
+  }
+  Pfn chunk = ListPopFront(from);
+  assert(chunk != kInvalidPfn);
+
+  // Split down, returning upper halves to the free lists.
+  while (from > order) {
+    --from;
+    const Pfn upper = chunk + (1u << from);
+    StampFreeChunk(upper, from);
+    ListPushFront(from, upper);
+  }
+
+  const uint32_t n = 1u << order;
+  for (uint32_t i = 0; i < n; ++i) {
+    Page& p = memmap_->page(chunk + i);
+    p.state = PageState::kAllocated;
+    p.kind = kind;
+    p.head = (i == 0);
+    p.order = order;
+    p.owner = (i == 0) ? owner : kNoOwner;
+    p.owner_slot = (i == 0) ? owner_slot : 0;
+    p.next_free = kInvalidPfn;
+    p.prev_free = kInvalidPfn;
+  }
+  assert(free_pages_ >= n);
+  free_pages_ -= n;
+  memmap_->AdjustBlockAllocated(chunk, n);
+  return chunk;
+}
+
+void Zone::Free(Pfn head) {
+  Page& p = memmap_->page(head);
+  assert(p.state == PageState::kAllocated && p.head);
+  assert(p.zone_id == id_);
+  const uint8_t order = p.order;
+  free_pages_ += 1u << order;
+  memmap_->AdjustBlockAllocated(head, -static_cast<int64_t>(1u << order));
+  FreeChunk(head, order);
+}
+
+void Zone::FreeIntoIsolation(Pfn head) {
+  Page& p = memmap_->page(head);
+  assert(p.state == PageState::kAllocated && p.head);
+  assert(p.zone_id == id_);
+  const uint32_t n = 1u << p.order;
+  memmap_->AdjustBlockAllocated(head, -static_cast<int64_t>(n));
+  for (uint32_t i = 0; i < n; ++i) {
+    Page& q = memmap_->page(head + i);
+    q.state = PageState::kIsolated;
+    q.kind = PageKind::kNone;
+    q.head = false;
+    q.order = 0;
+    q.owner = kNoOwner;
+    q.owner_slot = 0;
+  }
+  // Isolated pages no longer count as allocatable; they were allocated, so
+  // free_pages_ is unchanged.
+}
+
+uint64_t Zone::IsolateFreeRange(Pfn start, uint64_t npages) {
+  uint64_t isolated = 0;
+  Pfn pfn = start;
+  const Pfn end = start + npages;
+  while (pfn < end) {
+    Page& p = memmap_->page(pfn);
+    if (p.state == PageState::kFree && p.head) {
+      const uint8_t order = p.order;
+      const uint32_t n = 1u << order;
+      assert(pfn + n <= end && "free chunks never straddle block boundaries");
+      ListRemove(order, pfn);
+      for (uint32_t i = 0; i < n; ++i) {
+        Page& q = memmap_->page(pfn + i);
+        q.state = PageState::kIsolated;
+        q.head = false;
+        q.order = 0;
+      }
+      isolated += n;
+      pfn += n;
+    } else {
+      assert(p.state != PageState::kFree && "tail free page without a head in range");
+      ++pfn;
+    }
+  }
+  assert(free_pages_ >= isolated);
+  free_pages_ -= isolated;
+  return isolated;
+}
+
+void Zone::UndoIsolation(Pfn start, uint64_t npages) {
+  // Re-free maximal runs of isolated pages.
+  Pfn pfn = start;
+  const Pfn end = start + npages;
+  while (pfn < end) {
+    if (memmap_->page(pfn).state != PageState::kIsolated) {
+      ++pfn;
+      continue;
+    }
+    Pfn run_end = pfn;
+    while (run_end < end && memmap_->page(run_end).state == PageState::kIsolated) {
+      ++run_end;
+    }
+    uint64_t remaining = run_end - pfn;
+    free_pages_ += remaining;
+    while (remaining > 0) {
+      uint8_t order = kMaxPageOrder;
+      while (order > 0 && (((pfn & ((1u << order) - 1)) != 0) || ((1u << order) > remaining))) {
+        --order;
+      }
+      FreeChunk(pfn, order);
+      pfn += 1u << order;
+      remaining -= 1u << order;
+    }
+  }
+}
+
+void Zone::RetireRange(Pfn start, uint64_t npages) {
+  for (Pfn pfn = start; pfn < start + npages; ++pfn) {
+    Page& p = memmap_->page(pfn);
+    assert(p.state == PageState::kIsolated);
+    assert(p.zone_id == id_);
+    p.state = PageState::kOffline;
+    p.zone_id = -1;
+    p.head = false;
+    p.order = 0;
+  }
+  assert(present_pages_ >= npages && managed_pages_ >= npages);
+  present_pages_ -= npages;
+  managed_pages_ -= npages;
+}
+
+void Zone::ShuffleFreeLists(Rng& rng) {
+  for (uint8_t order = 0; order <= kMaxPageOrder; ++order) {
+    FreeArea& area = areas_[order];
+    std::vector<Pfn> chunks;
+    chunks.reserve(area.nr_free);
+    for (Pfn pfn = area.head; pfn != kInvalidPfn; pfn = memmap_->page(pfn).next_free) {
+      chunks.push_back(pfn);
+    }
+    rng.Shuffle(chunks.begin(), chunks.end());
+    area.head = kInvalidPfn;
+    area.tail = kInvalidPfn;
+    area.nr_free = 0;
+    for (const Pfn pfn : chunks) {
+      ListPushBack(order, pfn);
+    }
+  }
+}
+
+bool Zone::CheckFreeLists() const {
+  uint64_t pages_seen = 0;
+  for (uint8_t order = 0; order <= kMaxPageOrder; ++order) {
+    const FreeArea& area = areas_[order];
+    uint64_t chunks = 0;
+    Pfn prev = kInvalidPfn;
+    for (Pfn pfn = area.head; pfn != kInvalidPfn; pfn = memmap_->page(pfn).next_free) {
+      const Page& p = memmap_->page(pfn);
+      if (p.state != PageState::kFree || !p.head || p.order != order || p.zone_id != id_) {
+        return false;
+      }
+      if ((pfn & ((1u << order) - 1)) != 0) {
+        return false;  // Misaligned chunk.
+      }
+      if (p.prev_free != prev) {
+        return false;  // Broken back-link.
+      }
+      prev = pfn;
+      ++chunks;
+      pages_seen += 1u << order;
+      if (chunks > area.nr_free) {
+        return false;  // Cycle or counter mismatch.
+      }
+    }
+    if (area.tail != prev || chunks != area.nr_free) {
+      return false;
+    }
+  }
+  return pages_seen == free_pages_;
+}
+
+}  // namespace squeezy

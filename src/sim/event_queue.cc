@@ -1,0 +1,89 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace squeezy {
+
+EventId EventQueue::ScheduleAt(TimeNs when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+EventId EventQueue::ScheduleAfter(DurationNs delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == kInvalidEventId) {
+    return false;
+  }
+  // Lazy deletion: remember the id, skip it when popped.
+  if (cancelled_.insert(id).second) {
+    if (live_count_ == 0) {
+      cancelled_.erase(id);
+      return false;
+    }
+    --live_count_;
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::AdvanceBy(DurationNs d) {
+  assert(d >= 0);
+  now_ += d;
+}
+
+bool EventQueue::RunOne() {
+  while (!heap_.empty()) {
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    if (cancelled_.erase(top.id) > 0) {
+      continue;  // Tombstone.
+    }
+    --live_count_;
+    if (top.when > now_) {
+      now_ = top.when;
+    }
+    top.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::RunUntil(TimeNs deadline) {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      heap_.pop();
+      continue;
+    }
+    if (top.when > deadline) {
+      break;
+    }
+    RunOne();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void EventQueue::RunAll(uint64_t max_events) {
+  uint64_t ran = 0;
+  while (RunOne()) {
+    if (++ran >= max_events) {
+      assert(false && "EventQueue::RunAll exceeded max_events");
+      break;
+    }
+  }
+}
+
+}  // namespace squeezy

@@ -1,0 +1,85 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded event queue with a virtual clock.  Events scheduled
+// for the same instant fire in scheduling order (stable), which keeps
+// every experiment bit-deterministic for a given seed.
+#ifndef SQUEEZY_SIM_EVENT_QUEUE_H_
+#define SQUEEZY_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace squeezy {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  TimeNs now() const { return now_; }
+
+  // Schedules `fn` to run at absolute virtual time `when` (clamped to now).
+  EventId ScheduleAt(TimeNs when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` after the current virtual time.
+  EventId ScheduleAfter(DurationNs delay, std::function<void()> fn);
+
+  // Cancels a pending event.  Returns false if it already ran or was
+  // cancelled.  Cancelling kInvalidEventId is a no-op.
+  bool Cancel(EventId id);
+
+  // Advances the clock without running events (used by synchronous cost
+  // accounting: an operation that "takes" 5 ms simply advances time).
+  // Events that become due are NOT run; call Run* to drain them.
+  void AdvanceBy(DurationNs d);
+
+  // Runs events until the queue is empty or the clock passes `deadline`.
+  // The clock ends at max(deadline, last event time <= deadline).
+  void RunUntil(TimeNs deadline);
+
+  // Runs every pending event (including ones scheduled while draining).
+  // `max_events` guards against runaway self-rescheduling loops.
+  void RunAll(uint64_t max_events = 50'000'000);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t pending() const { return live_count_; }
+
+ private:
+  struct Entry {
+    TimeNs when;
+    uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the earliest event; returns false when empty.
+  bool RunOne();
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_SIM_EVENT_QUEUE_H_

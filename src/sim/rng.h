@@ -1,0 +1,64 @@
+// Deterministic random number generation.
+//
+// We avoid <random> distribution objects because their output is
+// implementation-defined; every distribution here is hand-rolled so a
+// given seed produces identical streams on every platform.
+#ifndef SQUEEZY_SIM_RNG_H_
+#define SQUEEZY_SIM_RNG_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace squeezy {
+
+// xoshiro256** seeded via SplitMix64.  Fast, high quality, deterministic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Poisson with the given mean (>= 0).  Uses inversion for small means
+  // and a normal approximation for large ones.
+  int64_t Poisson(double mean);
+
+  // Normal via Box-Muller (deterministic variant consuming two uniforms).
+  double Normal(double mean, double stddev);
+
+  // Log-normal parameterized by the mean/cv of the *resulting* variable.
+  double LogNormal(double mean, double cv);
+
+  // Bernoulli.
+  bool Chance(double p);
+
+  // Fisher-Yates shuffle of [first, last).
+  template <typename It>
+  void Shuffle(It first, It last) {
+    const auto n = last - first;
+    for (auto i = n - 1; i > 0; --i) {
+      const auto j = UniformInt(0, i);
+      using std::swap;
+      swap(first[i], first[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_SIM_RNG_H_

@@ -1,0 +1,23 @@
+#include "src/sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace squeezy {
+
+std::string FormatDuration(DurationNs d) {
+  char buf[64];
+  const double abs = std::fabs(static_cast<double>(d));
+  if (abs >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ToSec(d));
+  } else if (abs >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ToMsec(d));
+  } else if (abs >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", ToUsec(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace squeezy

@@ -1,0 +1,42 @@
+// Simulated-time primitives.
+//
+// All simulation latencies and timestamps are expressed in integer
+// nanoseconds of *virtual* time.  Using a plain integer (instead of
+// std::chrono) keeps the event queue and metrics code trivially
+// serializable and bit-deterministic across platforms.
+#ifndef SQUEEZY_SIM_TIME_H_
+#define SQUEEZY_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace squeezy {
+
+// A point in virtual time, in nanoseconds since simulation start.
+using TimeNs = int64_t;
+// A span of virtual time, in nanoseconds.
+using DurationNs = int64_t;
+
+inline constexpr DurationNs kNanosecond = 1;
+inline constexpr DurationNs kMicrosecond = 1000;
+inline constexpr DurationNs kMillisecond = 1000 * kMicrosecond;
+inline constexpr DurationNs kSecond = 1000 * kMillisecond;
+inline constexpr DurationNs kMinute = 60 * kSecond;
+
+// Construct durations from scalar values.
+constexpr DurationNs Usec(double us) { return static_cast<DurationNs>(us * kMicrosecond); }
+constexpr DurationNs Msec(double ms) { return static_cast<DurationNs>(ms * kMillisecond); }
+constexpr DurationNs Sec(double s) { return static_cast<DurationNs>(s * kSecond); }
+constexpr DurationNs Minutes(double m) { return static_cast<DurationNs>(m * kMinute); }
+
+// Convert durations to floating-point scalar units (for reporting).
+constexpr double ToUsec(DurationNs d) { return static_cast<double>(d) / kMicrosecond; }
+constexpr double ToMsec(DurationNs d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double ToSec(DurationNs d) { return static_cast<double>(d) / kSecond; }
+
+// Human-readable rendering, e.g. "1.27 s", "617 ms", "35.4 us".
+std::string FormatDuration(DurationNs d);
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_SIM_TIME_H_

@@ -1,0 +1,73 @@
+#include "src/trace/churn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace squeezy {
+
+std::vector<ChurnMinute> AnalyzeChurn(const std::vector<Invocation>& trace,
+                                      const ChurnConfig& config) {
+  if (trace.empty()) {
+    return {};
+  }
+  // Multiset of instances keyed by the time they become idle; an instance
+  // whose idle-since exceeds keep_alive is evicted.
+  std::multimap<TimeNs, bool> idle_since;  // idle start -> (unused flag)
+  uint64_t busy = 0;
+  std::multimap<TimeNs, int> busy_until;  // completion time -> count
+
+  std::map<int64_t, ChurnMinute> minutes;
+  auto minute_of = [](TimeNs t) { return t / kMinute; };
+  auto bump = [&minutes](int64_t m) -> ChurnMinute& {
+    ChurnMinute& cm = minutes[m];
+    cm.minute = m;
+    return cm;
+  };
+
+  auto drain_until = [&](TimeNs now) {
+    // Retire completed requests into the idle pool.
+    while (!busy_until.empty() && busy_until.begin()->first <= now) {
+      const TimeNs done = busy_until.begin()->first;
+      busy_until.erase(busy_until.begin());
+      assert(busy > 0);
+      --busy;
+      idle_since.insert({done, true});
+    }
+    // Evict idle instances whose keep-alive expired before `now`.
+    while (!idle_since.empty() && idle_since.begin()->first + config.keep_alive <= now) {
+      const TimeNs evict_at = idle_since.begin()->first + config.keep_alive;
+      idle_since.erase(idle_since.begin());
+      bump(minute_of(evict_at)).evictions += 1;
+    }
+  };
+
+  for (const Invocation& inv : trace) {
+    drain_until(inv.at);
+    if (!idle_since.empty()) {
+      // Reuse the most recently idled instance (LIFO keeps pools small).
+      auto it = std::prev(idle_since.end());
+      idle_since.erase(it);
+    } else {
+      bump(minute_of(inv.at)).creations += 1;
+    }
+    ++busy;
+    busy_until.insert({inv.at + config.exec_time, 1});
+  }
+  // Flush trailing evictions.
+  drain_until(trace.back().at + config.keep_alive + config.exec_time + kMinute);
+
+  std::vector<ChurnMinute> out;
+  uint64_t alive = 0;
+  const int64_t last_minute = minutes.empty() ? 0 : minutes.rbegin()->first;
+  for (int64_t m = 0; m <= last_minute; ++m) {
+    ChurnMinute cm = minutes.count(m) ? minutes[m] : ChurnMinute{m, 0, 0, 0};
+    alive += cm.creations;
+    alive -= std::min<uint64_t>(alive, cm.evictions);
+    cm.alive = alive;
+    out.push_back(cm);
+  }
+  return out;
+}
+
+}  // namespace squeezy

@@ -1,0 +1,37 @@
+// Instance churn analysis (paper Fig 2).
+//
+// Replays an invocation stream against a keep-alive instance pool and
+// reports instance creations and evictions per minute — the demand signal
+// that motivates sub-second VM memory elasticity.
+#ifndef SQUEEZY_TRACE_CHURN_H_
+#define SQUEEZY_TRACE_CHURN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/trace/trace_gen.h"
+
+namespace squeezy {
+
+struct ChurnConfig {
+  DurationNs keep_alive = Minutes(5);  // Idle eviction window (paper Fig 2).
+  DurationNs exec_time = Sec(1);       // Mean request service time.
+};
+
+struct ChurnMinute {
+  int64_t minute = 0;
+  uint64_t creations = 0;
+  uint64_t evictions = 0;
+  uint64_t alive = 0;  // Pool size at the end of the minute.
+};
+
+// Replays `trace` (sorted by time) with a simple pool: a request grabs an
+// idle instance if one exists, otherwise creates one; instances idle
+// longer than keep_alive are evicted.
+std::vector<ChurnMinute> AnalyzeChurn(const std::vector<Invocation>& trace,
+                                      const ChurnConfig& config);
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_TRACE_CHURN_H_

@@ -1,0 +1,49 @@
+#include "src/trace/memhog.h"
+
+#include <cassert>
+
+namespace squeezy {
+
+Memhog::Memhog(GuestKernel* guest, const MemhogConfig& config) : guest_(guest), config_(config) {
+  assert(guest_ != nullptr);
+}
+
+bool Memhog::Start(TimeNs now) {
+  assert(pid_ == kNoPid);
+  pid_ = guest_->CreateProcess();
+  if (guest_->TouchAnon(pid_, config_.bytes, now).oom) {
+    return false;
+  }
+  for (uint32_t i = 0; i < config_.warmup_cycles; ++i) {
+    if (!Churn(now)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Memhog::Churn(TimeNs now) {
+  assert(pid_ != kNoPid);
+  if (!guest_->Alive(pid_)) {
+    return false;
+  }
+  const uint64_t slice = static_cast<uint64_t>(
+      static_cast<double>(config_.bytes) * config_.churn_fraction);
+  const uint64_t freed = guest_->FreeAnon(pid_, slice);
+  return !guest_->TouchAnon(pid_, freed, now).oom;
+}
+
+void Memhog::Stop() {
+  assert(pid_ != kNoPid);
+  if (guest_->Alive(pid_)) {
+    guest_->Exit(pid_);
+  }
+}
+
+bool Memhog::running() const { return pid_ != kNoPid && guest_->Alive(pid_); }
+
+uint64_t Memhog::resident_bytes() const {
+  return pid_ == kNoPid ? 0 : guest_->process(pid_).anon_bytes();
+}
+
+}  // namespace squeezy

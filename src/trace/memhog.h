@@ -1,0 +1,49 @@
+// memhog workload driver (paper §6.1).
+//
+// memhog repeatedly (de)allocates fixed-size chunks of anonymous memory,
+// stressing the allocator and keeping its vCPU busy.  The churn scatters
+// its footprint across memory blocks — exactly the fragmentation that
+// makes vanilla unplug expensive.
+#ifndef SQUEEZY_TRACE_MEMHOG_H_
+#define SQUEEZY_TRACE_MEMHOG_H_
+
+#include <cstdint>
+
+#include "src/guest/guest_kernel.h"
+#include "src/sim/rng.h"
+
+namespace squeezy {
+
+struct MemhogConfig {
+  uint64_t bytes = MiB(512);      // Resident target per instance.
+  double churn_fraction = 0.25;   // Fraction re-(de)allocated per cycle.
+  uint32_t warmup_cycles = 4;     // Alloc/free cycles to reach steady state.
+};
+
+// One memhog instance: a guest process that owns `bytes` of anonymous
+// memory and churns part of it to emulate steady-state fragmentation.
+class Memhog {
+ public:
+  Memhog(GuestKernel* guest, const MemhogConfig& config);
+
+  // Spawns the process and reaches the resident target, with churn.
+  // Returns false if the guest OOM-killed it.
+  bool Start(TimeNs now);
+  // One churn cycle: free a random slice, re-touch the same amount.
+  bool Churn(TimeNs now);
+  // Terminates the process, releasing all memory.
+  void Stop();
+
+  Pid pid() const { return pid_; }
+  bool running() const;
+  uint64_t resident_bytes() const;
+
+ private:
+  GuestKernel* guest_;
+  MemhogConfig config_;
+  Pid pid_ = kNoPid;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_TRACE_MEMHOG_H_

@@ -1,0 +1,52 @@
+#include "src/trace/trace_gen.h"
+
+#include <algorithm>
+
+namespace squeezy {
+
+std::vector<Invocation> GenerateBurstyTrace(const BurstyTraceConfig& config, Rng& rng) {
+  std::vector<Invocation> out;
+  TimeNs t = 0;
+  bool in_burst = false;
+  TimeNs phase_end = 0;
+
+  // Alternate quiet/burst phases; arrivals are Poisson within each phase.
+  while (t < config.duration) {
+    if (t >= phase_end) {
+      in_burst = !in_burst;
+      const DurationNs mean = in_burst ? config.mean_burst_len : config.mean_gap;
+      phase_end = t + static_cast<DurationNs>(rng.Exponential(static_cast<double>(mean)));
+      continue;
+    }
+    const double rate = in_burst ? config.burst_rate_per_sec : config.base_rate_per_sec;
+    if (rate <= 0.0) {
+      t = phase_end;
+      continue;
+    }
+    const DurationNs gap = static_cast<DurationNs>(rng.Exponential(1.0 / rate) * kSecond);
+    t += std::max<DurationNs>(gap, 1);
+    if (t < config.duration && t < phase_end) {
+      out.push_back(Invocation{t, config.function});
+    } else if (t >= phase_end) {
+      continue;  // Phase flipped; re-evaluate rate.
+    }
+  }
+  return out;
+}
+
+std::vector<Invocation> MergeTraces(std::vector<std::vector<Invocation>> traces) {
+  std::vector<Invocation> merged;
+  size_t total = 0;
+  for (const auto& t : traces) {
+    total += t.size();
+  }
+  merged.reserve(total);
+  for (auto& t : traces) {
+    merged.insert(merged.end(), t.begin(), t.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Invocation& a, const Invocation& b) { return a.at < b.at; });
+  return merged;
+}
+
+}  // namespace squeezy

@@ -1,0 +1,41 @@
+// Synthetic invocation trace generation.
+//
+// The paper drives its FaaS experiments with bursty traces from the Azure
+// Functions 2021 collection.  Those traces are not redistributable here,
+// so this generator produces seeded synthetic streams with the same
+// observable structure: a low Poisson base rate punctuated by heavy
+// bursts (flash crowds), which is what exercises scale-up/scale-down.
+#ifndef SQUEEZY_TRACE_TRACE_GEN_H_
+#define SQUEEZY_TRACE_TRACE_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace squeezy {
+
+struct Invocation {
+  TimeNs at = 0;
+  int32_t function = 0;  // Caller-defined function index.
+};
+
+struct BurstyTraceConfig {
+  DurationNs duration = Minutes(10);
+  double base_rate_per_sec = 0.5;   // Poisson arrivals between bursts.
+  double burst_rate_per_sec = 12.0; // Arrival rate inside a burst.
+  DurationNs mean_burst_len = Sec(20);
+  DurationNs mean_gap = Sec(60);    // Mean quiet gap between bursts.
+  int32_t function = 0;
+};
+
+// One function's bursty arrival stream, sorted by time.
+std::vector<Invocation> GenerateBurstyTrace(const BurstyTraceConfig& config, Rng& rng);
+
+// Merges per-function streams into one sorted stream.
+std::vector<Invocation> MergeTraces(std::vector<std::vector<Invocation>> traces);
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_TRACE_TRACE_GEN_H_

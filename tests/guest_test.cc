@@ -1,0 +1,230 @@
+// Unit/integration tests for the guest kernel: processes, fault paths,
+// fork/exit, OOM, vanilla hot(un)plug policy.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/guest/guest_kernel.h"
+#include "src/host/host_memory.h"
+#include "src/host/hypervisor.h"
+#include "src/sim/cost_model.h"
+
+namespace squeezy {
+namespace {
+
+class GuestTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    host_ = std::make_unique<HostMemory>(GiB(32));
+    hv_ = std::make_unique<Hypervisor>(host_.get(), &cost_);
+    GuestConfig cfg;
+    cfg.name = "test-vm";
+    cfg.vcpus = 2;
+    cfg.base_memory = MiB(512);
+    cfg.hotplug_region = GiB(2);
+    cfg.shuffle_allocator = false;  // Deterministic placement for tests.
+    guest_ = std::make_unique<GuestKernel>(cfg, hv_.get());
+  }
+
+  CostModel cost_ = CostModel::Default();
+  std::unique_ptr<HostMemory> host_;
+  std::unique_ptr<Hypervisor> hv_;
+  std::unique_ptr<GuestKernel> guest_;
+};
+
+TEST_F(GuestTest, BootBringsUpNormalZone) {
+  // 512 MiB base minus the pinned kernel footprint is allocatable.
+  EXPECT_EQ(guest_->normal_zone().managed_pages(), MiB(512) / kPageSize);
+  EXPECT_GT(guest_->normal_zone().allocated_pages(), 0u);  // Kernel tax.
+  EXPECT_EQ(guest_->movable_zone().managed_pages(), 0u);   // Nothing plugged.
+  EXPECT_EQ(guest_->hotplug_first_block(), 4u);
+  EXPECT_EQ(guest_->hotplug_nr_blocks(), 16u);
+}
+
+TEST_F(GuestTest, PlugGrowsMovableZone) {
+  const PlugOutcome out = guest_->PlugMemory(MiB(768), 0);
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(guest_->movable_zone().managed_pages(), MiB(768) / kPageSize);
+  EXPECT_EQ(guest_->online_bytes(), MiB(512) + MiB(768));
+}
+
+TEST_F(GuestTest, TouchAnonFaultsThpFolios) {
+  guest_->PlugMemory(MiB(256), 0);
+  const Pid pid = guest_->CreateProcess();
+  const TouchResult r = guest_->TouchAnon(pid, MiB(64), 0);
+  EXPECT_FALSE(r.oom);
+  EXPECT_EQ(r.bytes, MiB(64));
+  EXPECT_EQ(guest_->process(pid).anon_bytes(), MiB(64));
+  EXPECT_GT(r.latency, 0);
+  EXPECT_GT(r.nested, 0);  // Freshly plugged memory needs host backing.
+  // THP-sized folios: 32 folios for 64 MiB.
+  EXPECT_EQ(guest_->process(pid).folios().size(), 32u);
+}
+
+TEST_F(GuestTest, SecondTouchHasNoNestedFaults) {
+  guest_->PlugMemory(MiB(256), 0);
+  const Pid a = guest_->CreateProcess();
+  guest_->TouchAnon(a, MiB(64), 0);
+  guest_->Exit(a);
+  // Same memory re-touched: host backing already present.
+  const Pid b = guest_->CreateProcess();
+  const TouchResult r = guest_->TouchAnon(b, MiB(64), 0);
+  EXPECT_EQ(r.nested, 0);
+}
+
+TEST_F(GuestTest, SubPageRoundingAndSmallTouches) {
+  guest_->PlugMemory(MiB(128), 0);
+  const Pid pid = guest_->CreateProcess();
+  const TouchResult r = guest_->TouchAnon(pid, 1, 0);  // One byte -> one page.
+  EXPECT_EQ(r.bytes, kPageSize);
+  const TouchResult r2 = guest_->TouchAnon(pid, kPageSize * 3, 0);
+  EXPECT_EQ(r2.bytes, kPageSize * 3);
+  EXPECT_EQ(guest_->process(pid).anon_bytes(), kPageSize * 4);
+}
+
+TEST_F(GuestTest, AnonSpillsToNormalZoneWhenMovableFull) {
+  guest_->PlugMemory(kMemoryBlockBytes, 0);  // 128 MiB movable.
+  const Pid pid = guest_->CreateProcess();
+  const TouchResult r = guest_->TouchAnon(pid, MiB(192), 0);
+  EXPECT_FALSE(r.oom);
+  EXPECT_EQ(guest_->process(pid).anon_bytes(), MiB(192));
+  EXPECT_GT(guest_->normal_zone().allocated_pages(), MiB(64) / kPageSize);
+}
+
+TEST_F(GuestTest, OomKillsProcessWhenEverythingFull) {
+  guest_->PlugMemory(kMemoryBlockBytes, 0);
+  const Pid pid = guest_->CreateProcess();
+  // Demand far beyond base + plugged.
+  const TouchResult r = guest_->TouchAnon(pid, GiB(1), 0);
+  EXPECT_TRUE(r.oom);
+  EXPECT_EQ(guest_->process(pid).state(), ProcessState::kOomKilled);
+  EXPECT_FALSE(guest_->Alive(pid));
+  // Its memory was released.
+  EXPECT_EQ(guest_->process(pid).anon_bytes(), 0u);
+}
+
+TEST_F(GuestTest, ExitFreesAllAnonMemory) {
+  guest_->PlugMemory(MiB(256), 0);
+  const Pid pid = guest_->CreateProcess();
+  guest_->TouchAnon(pid, MiB(100), 0);
+  const uint64_t allocated_before = guest_->movable_zone().allocated_pages();
+  EXPECT_GT(allocated_before, 0u);
+  guest_->Exit(pid);
+  EXPECT_EQ(guest_->movable_zone().allocated_pages(), 0u);
+  EXPECT_EQ(guest_->live_process_count(), 0u);
+  EXPECT_TRUE(guest_->movable_zone().CheckFreeLists());
+}
+
+TEST_F(GuestTest, FreeAnonPartialRelease) {
+  guest_->PlugMemory(MiB(256), 0);
+  const Pid pid = guest_->CreateProcess();
+  guest_->TouchAnon(pid, MiB(100), 0);
+  const uint64_t freed = guest_->FreeAnon(pid, MiB(40));
+  EXPECT_GE(freed, MiB(40));
+  EXPECT_LE(freed, MiB(42));  // Folio granularity.
+  EXPECT_EQ(guest_->process(pid).anon_bytes(), MiB(100) - freed);
+}
+
+TEST_F(GuestTest, TouchFilePopulatesSharedCacheOnce) {
+  guest_->PlugMemory(MiB(256), 0);
+  const int32_t file = guest_->CreateFile("deps", MiB(32));
+  const Pid a = guest_->CreateProcess();
+  const TouchResult first = guest_->TouchFile(a, file, MiB(32), 0);
+  EXPECT_EQ(guest_->page_cache().cached_pages(file), MiB(32) / kPageSize);
+
+  const Pid b = guest_->CreateProcess();
+  const TouchResult second = guest_->TouchFile(b, file, MiB(32), 0);
+  // Cache hit: no IO, dramatically cheaper (this is the N:1 sharing win).
+  EXPECT_LT(second.latency, first.latency / 10);
+  // Cache population is not duplicated.
+  EXPECT_EQ(guest_->page_cache().cached_pages(file), MiB(32) / kPageSize);
+}
+
+TEST_F(GuestTest, FileRereadCostsScaleWithSize) {
+  guest_->PlugMemory(MiB(512), 0);
+  const int32_t small = guest_->CreateFile("small", MiB(8));
+  const int32_t large = guest_->CreateFile("large", MiB(64));
+  const Pid pid = guest_->CreateProcess();
+  const DurationNs small_cost = guest_->TouchFile(pid, small, MiB(8), 0).latency;
+  const DurationNs large_cost = guest_->TouchFile(pid, large, MiB(64), 0).latency;
+  EXPECT_NEAR(static_cast<double>(large_cost) / static_cast<double>(small_cost), 8.0, 0.5);
+}
+
+TEST_F(GuestTest, ForkSharesPartitionAndFiles) {
+  const int32_t file = guest_->CreateFile("lib", MiB(1));
+  const Pid parent = guest_->CreateProcess();
+  guest_->process(parent).MapFile(file);
+  const Pid child = guest_->Fork(parent);
+  EXPECT_EQ(guest_->process(child).parent(), parent);
+  EXPECT_EQ(guest_->process(child).files().size(), 1u);
+  EXPECT_EQ(guest_->live_process_count(), 2u);
+}
+
+TEST_F(GuestTest, VanillaUnplugAfterProcessExitMigratesSurvivors) {
+  guest_->PlugMemory(MiB(512), 0);
+  // Two processes interleave (ascending allocation interleaves at folio
+  // granularity as they alternate), filling 3 of the 4 plugged blocks.
+  const Pid a = guest_->CreateProcess();
+  const Pid b = guest_->CreateProcess();
+  for (int i = 0; i < 24; ++i) {
+    guest_->TouchAnon(a, MiB(8), 0);
+    guest_->TouchAnon(b, MiB(8), 0);
+  }
+  // Kill A; reclaim more than the fully-free spare block so at least one
+  // half-occupied block must be evacuated.
+  guest_->Exit(a);
+  const UnplugOutcome out = guest_->UnplugMemory(MiB(256), 0);
+  EXPECT_TRUE(out.complete);
+  EXPECT_GT(out.pages_migrated, 0u);
+  // B's memory is intact after the migration.
+  EXPECT_EQ(guest_->process(b).anon_bytes(), MiB(192));
+  // Every folio B owns is still allocated and owned by B.
+  for (const FolioRef& f : guest_->process(b).folios()) {
+    if (f.head == kInvalidPfn) {
+      continue;
+    }
+    const Page& p = guest_->memmap().page(f.head);
+    EXPECT_EQ(p.state, PageState::kAllocated);
+    EXPECT_EQ(p.owner, b);
+  }
+}
+
+TEST_F(GuestTest, BalloonReclaimShrinksMovable) {
+  guest_->PlugMemory(MiB(256), 0);
+  const BalloonOutcome out = guest_->BalloonReclaim(MiB(64), 0);
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(guest_->balloon().held_bytes(), MiB(64));
+}
+
+TEST_F(GuestTest, AllocatedBytesAccountsAllZones) {
+  guest_->PlugMemory(MiB(256), 0);
+  const uint64_t boot = guest_->allocated_bytes();
+  const Pid pid = guest_->CreateProcess();
+  guest_->TouchAnon(pid, MiB(32), 0);
+  EXPECT_EQ(guest_->allocated_bytes(), boot + MiB(32));
+}
+
+TEST_F(GuestTest, NestedFaultLatencyMatchesBackingGranules) {
+  guest_->PlugMemory(MiB(256), 0);
+  const Pid pid = guest_->CreateProcess();
+  const TouchResult r = guest_->TouchAnon(pid, MiB(64), 0);
+  // One exit per backing granule of freshly plugged memory.
+  const int64_t granules = static_cast<int64_t>(MiB(64) / cost_.host_thp_bytes);
+  EXPECT_EQ(r.nested, granules * cost_.nested_fault_exit);
+}
+
+TEST_F(GuestTest, HostPopulationGrowsWithTouches) {
+  guest_->PlugMemory(MiB(256), 0);
+  const uint64_t before = host_->populated();
+  const Pid pid = guest_->CreateProcess();
+  guest_->TouchAnon(pid, MiB(64), 0);
+  EXPECT_EQ(host_->populated(), before + MiB(64));
+  // Unplug after exit releases it back.
+  guest_->Exit(pid);
+  guest_->UnplugMemory(MiB(256), 0);
+  EXPECT_EQ(host_->populated(), before);
+}
+
+}  // namespace
+}  // namespace squeezy

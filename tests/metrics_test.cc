@@ -1,0 +1,176 @@
+// Unit tests for metrics: latency percentiles, step series, tables, CSV.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/metrics/csv.h"
+#include "src/metrics/latency_recorder.h"
+#include "src/metrics/table.h"
+#include "src/metrics/time_series.h"
+#include "src/sim/time.h"
+
+namespace squeezy {
+namespace {
+
+// --- LatencyRecorder ----------------------------------------------------------
+
+TEST(LatencyRecorderTest, BasicStats) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 100; ++i) {
+    r.Record(Msec(i));
+  }
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_EQ(r.Min(), Msec(1));
+  EXPECT_EQ(r.Max(), Msec(100));
+  EXPECT_EQ(r.Mean(), Msec(50.5));
+  EXPECT_EQ(r.Percentile(50), Msec(50));
+  EXPECT_EQ(r.Percentile(99), Msec(99));
+  EXPECT_EQ(r.Percentile(100), Msec(100));
+}
+
+TEST(LatencyRecorderTest, PercentileSingleSample) {
+  LatencyRecorder r;
+  r.Record(Msec(42));
+  EXPECT_EQ(r.Percentile(1), Msec(42));
+  EXPECT_EQ(r.Percentile(50), Msec(42));
+  EXPECT_EQ(r.Percentile(99), Msec(42));
+}
+
+TEST(LatencyRecorderTest, UnsortedInputSortsLazily) {
+  LatencyRecorder r;
+  r.Record(Msec(30));
+  r.Record(Msec(10));
+  r.Record(Msec(20));
+  EXPECT_EQ(r.Percentile(50), Msec(20));
+  r.Record(Msec(5));  // Invalidates the sort cache.
+  EXPECT_EQ(r.Min(), Msec(5));
+}
+
+TEST(LatencyRecorderTest, ClearResets) {
+  LatencyRecorder r;
+  r.Record(1);
+  r.Clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.Sum(), 0);
+}
+
+TEST(LatencyRecorderTest, GeomeanOfRatios) {
+  EXPECT_NEAR(Geomean({2.0, 8.0}), 4.0, 1e-9);
+  EXPECT_NEAR(Geomean({1.0, 1.0, 1.0}), 1.0, 1e-9);
+  EXPECT_NEAR(Geomean({10.0}), 10.0, 1e-9);
+}
+
+// --- StepSeries -----------------------------------------------------------------
+
+TEST(StepSeriesTest, AtReturnsLatestValue) {
+  StepSeries s;
+  EXPECT_DOUBLE_EQ(s.At(Sec(1)), 0.0);
+  s.Push(Sec(1), 10.0);
+  s.Push(Sec(3), 20.0);
+  EXPECT_DOUBLE_EQ(s.At(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.At(Sec(1)), 10.0);
+  EXPECT_DOUBLE_EQ(s.At(Sec(2)), 10.0);
+  EXPECT_DOUBLE_EQ(s.At(Sec(3)), 20.0);
+  EXPECT_DOUBLE_EQ(s.At(Sec(100)), 20.0);
+}
+
+TEST(StepSeriesTest, SameInstantSupersedes) {
+  StepSeries s;
+  s.Push(Sec(1), 10.0);
+  s.Push(Sec(1), 15.0);
+  EXPECT_DOUBLE_EQ(s.At(Sec(1)), 15.0);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(StepSeriesTest, IntegralPiecewise) {
+  StepSeries s;
+  s.Push(0, 1.0);
+  s.Push(Sec(10), 3.0);
+  // [0,10): 1.0 * 10 + [10,20): 3.0 * 10 = 40.
+  EXPECT_DOUBLE_EQ(s.IntegralSec(0, Sec(20)), 40.0);
+  // Sub-range [5, 15): 1*5 + 3*5 = 20.
+  EXPECT_DOUBLE_EQ(s.IntegralSec(Sec(5), Sec(15)), 20.0);
+  // Range before first point integrates zero.
+  StepSeries t;
+  t.Push(Sec(10), 5.0);
+  EXPECT_DOUBLE_EQ(t.IntegralSec(0, Sec(10)), 0.0);
+  EXPECT_DOUBLE_EQ(t.IntegralSec(0, Sec(12)), 10.0);
+}
+
+TEST(StepSeriesTest, MaxOverSeries) {
+  StepSeries s;
+  s.Push(0, 1.0);
+  s.Push(Sec(1), 7.0);
+  s.Push(Sec(2), 3.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 7.0);
+}
+
+TEST(StepSeriesTest, ResampleFixedStep) {
+  StepSeries s;
+  s.Push(0, 1.0);
+  s.Push(Sec(2), 2.0);
+  const std::vector<double> r = s.Resample(0, Sec(4), Sec(1));
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+  EXPECT_DOUBLE_EQ(r[4], 2.0);
+}
+
+// --- TablePrinter -----------------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsAndPrintsAllCells) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1.00"});
+  t.AddRule();
+  t.AddRow({"beta", "23.50"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("23.50"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumberFormatters) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Int(-42), "-42");
+}
+
+// --- CsvWriter ---------------------------------------------------------------------
+
+TEST(CsvWriterTest, WritesHeaderAndRowsWithQuoting) {
+  const std::string path = testing::TempDir() + "/squeezy_csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    ASSERT_TRUE(w.ok());
+    w.AddRow({"1", "plain"});
+    w.AddRow({"2", "has,comma"});
+    w.AddRow({"3", "has\"quote"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,plain");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,\"has,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,\"has\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, CreatesParentDirectories) {
+  const std::string path = testing::TempDir() + "/squeezy_csv_dir/sub/test.csv";
+  CsvWriter w(path, {"x"});
+  EXPECT_TRUE(w.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace squeezy

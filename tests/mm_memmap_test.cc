@@ -1,0 +1,106 @@
+// Unit tests for the memory map and block state machine.
+#include <gtest/gtest.h>
+
+#include "src/mm/memmap.h"
+#include "src/mm/zone.h"
+#include "src/sim/cost_model.h"
+
+namespace squeezy {
+namespace {
+
+TEST(MemMapTest, SpanRoundsUpToBlocks) {
+  MemMap m(kMemoryBlockBytes + 1);
+  EXPECT_EQ(m.block_count(), 2u);
+  EXPECT_EQ(m.span_pages(), 2u * kPagesPerBlock);
+}
+
+TEST(MemMapTest, BlocksStartAbsentWithHolePages) {
+  MemMap m(GiB(1));
+  EXPECT_EQ(m.block_count(), 8u);
+  for (BlockIndex b = 0; b < 8; ++b) {
+    EXPECT_EQ(m.block_state(b), BlockState::kAbsent);
+  }
+  EXPECT_EQ(m.page(0).state, PageState::kHole);
+  EXPECT_EQ(m.page(m.span_pages() - 1).state, PageState::kHole);
+}
+
+TEST(MemMapTest, InitBlockMakesPagesOffline) {
+  MemMap m(GiB(1));
+  m.InitBlock(3);
+  EXPECT_EQ(m.block_state(3), BlockState::kPresent);
+  const Pfn start = MemMap::BlockStart(3);
+  EXPECT_EQ(m.page(start).state, PageState::kOffline);
+  EXPECT_EQ(m.page(start + kPagesPerBlock - 1).state, PageState::kOffline);
+  // Neighbours untouched.
+  EXPECT_EQ(m.page(start - 1).state, PageState::kHole);
+  EXPECT_EQ(m.page(start + kPagesPerBlock).state, PageState::kHole);
+}
+
+TEST(MemMapTest, TeardownBlockRestoresHoles) {
+  MemMap m(GiB(1));
+  m.InitBlock(0);
+  m.set_block_state(0, BlockState::kOffline);
+  m.TeardownBlock(0);
+  EXPECT_EQ(m.block_state(0), BlockState::kAbsent);
+  EXPECT_EQ(m.page(0).state, PageState::kHole);
+}
+
+TEST(MemMapTest, BlockIndexMath) {
+  EXPECT_EQ(MemMap::BlockOf(0), 0u);
+  EXPECT_EQ(MemMap::BlockOf(kPagesPerBlock - 1), 0u);
+  EXPECT_EQ(MemMap::BlockOf(kPagesPerBlock), 1u);
+  EXPECT_EQ(MemMap::BlockStart(2), 2u * kPagesPerBlock);
+}
+
+TEST(MemMapTest, CountBlockPagesByState) {
+  MemMap m(GiB(1));
+  m.InitBlock(0);
+  EXPECT_EQ(m.CountBlockPages(0, PageState::kOffline), static_cast<uint64_t>(kPagesPerBlock));
+  EXPECT_EQ(m.CountBlockPages(0, PageState::kFree), 0u);
+  EXPECT_EQ(m.CountBlockPages(1, PageState::kHole), static_cast<uint64_t>(kPagesPerBlock));
+}
+
+TEST(MemMapTest, CountBlocksByState) {
+  MemMap m(GiB(1));
+  m.InitBlock(0);
+  m.InitBlock(5);
+  EXPECT_EQ(m.CountBlocks(BlockState::kAbsent), 6u);
+  EXPECT_EQ(m.CountBlocks(BlockState::kPresent), 2u);
+}
+
+TEST(MemMapTest, FolioHeadResolvesFromTail) {
+  MemMap m(GiB(1));
+  Zone zone(0, ZoneType::kMovable, "z", &m);
+  m.InitBlock(0);
+  zone.AddFreeRange(0, kPagesPerBlock);
+  const Pfn head = zone.Alloc(kThpOrder, PageKind::kAnon, 1, 0);
+  ASSERT_NE(head, kInvalidPfn);
+  for (uint32_t i = 0; i < (1u << kThpOrder); i += 37) {
+    EXPECT_EQ(m.FolioHead(head + i), head);
+  }
+}
+
+TEST(MemMapTest, HostPopulatedSurvivesTeardown) {
+  // The hypervisor owns host backing; guest-side teardown must not lose it
+  // (it is released explicitly via the unplug acknowledgement).
+  MemMap m(GiB(1));
+  m.InitBlock(0);
+  m.page(17).host_populated = true;
+  m.set_block_state(0, BlockState::kOffline);
+  m.TeardownBlock(0);
+  EXPECT_TRUE(m.page(17).host_populated);
+}
+
+TEST(MemMapTest, OccupancyCounterStartsZero) {
+  MemMap m(GiB(1));
+  for (BlockIndex b = 0; b < m.block_count(); ++b) {
+    EXPECT_EQ(m.BlockOccupied(b), 0u);
+  }
+  m.AdjustBlockAllocated(0, 5);
+  EXPECT_EQ(m.BlockOccupied(0), 5u);
+  m.AdjustBlockAllocated(3, -5);  // pfn 3 is still block 0.
+  EXPECT_EQ(m.BlockOccupied(0), 0u);
+}
+
+}  // namespace
+}  // namespace squeezy

@@ -1,0 +1,195 @@
+// Unit tests for page migration: the operation Squeezy eliminates.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "src/mm/memmap.h"
+#include "src/mm/migration.h"
+#include "src/mm/zone.h"
+#include "src/sim/cost_model.h"
+
+namespace squeezy {
+namespace {
+
+class RecordingRegistry : public OwnerRegistry {
+ public:
+  void RelocateFolio(PageKind kind, int32_t owner, uint32_t owner_slot, Pfn new_head) override {
+    moves.push_back({kind, owner, owner_slot, new_head});
+  }
+  struct Move {
+    PageKind kind;
+    int32_t owner;
+    uint32_t slot;
+    Pfn to;
+  };
+  std::vector<Move> moves;
+};
+
+class MigrationTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    memmap_ = std::make_unique<MemMap>(GiB(1));
+    zone_ = std::make_unique<Zone>(0, ZoneType::kMovable, "z", memmap_.get());
+    for (BlockIndex b = 0; b < 4; ++b) {
+      memmap_->InitBlock(b);
+      zone_->AddFreeRange(MemMap::BlockStart(b), kPagesPerBlock);
+      memmap_->set_block_state(b, BlockState::kOnline);
+    }
+  }
+
+  std::unique_ptr<MemMap> memmap_;
+  std::unique_ptr<Zone> zone_;
+  CostModel cost_ = CostModel::Default();
+  RecordingRegistry registry_;
+};
+
+TEST_F(MigrationTest, EmptyRangeMigratesNothing) {
+  zone_->IsolateFreeRange(0, kPagesPerBlock);
+  const MigrateOutcome out =
+      MigrateOutOfRange(*memmap_, *zone_, *zone_, 0, kPagesPerBlock, cost_, &registry_);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.pages_moved, 0u);
+  EXPECT_EQ(out.cost, 0);
+  EXPECT_TRUE(registry_.moves.empty());
+}
+
+TEST_F(MigrationTest, MovesFolioOutAndPatchesOwner) {
+  // Allocate one THP folio in block 0 (fresh zone allocates low-first).
+  const Pfn head = zone_->Alloc(kThpOrder, PageKind::kAnon, /*owner=*/42, /*slot=*/7);
+  ASSERT_LT(head, kPagesPerBlock);
+  zone_->IsolateFreeRange(0, kPagesPerBlock);
+
+  const MigrateOutcome out =
+      MigrateOutOfRange(*memmap_, *zone_, *zone_, 0, kPagesPerBlock, cost_, &registry_);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.folios_moved, 1u);
+  EXPECT_EQ(out.pages_moved, 1u << kThpOrder);
+  EXPECT_EQ(out.cost, cost_.MigrateFolio(1u << kThpOrder));
+
+  ASSERT_EQ(registry_.moves.size(), 1u);
+  EXPECT_EQ(registry_.moves[0].owner, 42);
+  EXPECT_EQ(registry_.moves[0].slot, 7u);
+  const Pfn new_head = registry_.moves[0].to;
+  EXPECT_GE(new_head, kPagesPerBlock);  // Left the isolating block.
+  const Page& p = memmap_->page(new_head);
+  EXPECT_EQ(p.state, PageState::kAllocated);
+  EXPECT_EQ(p.owner, 42);
+  EXPECT_EQ(p.owner_slot, 7u);
+  EXPECT_EQ(p.order, kThpOrder);
+  // Source frames are isolated, not free.
+  EXPECT_EQ(memmap_->page(head).state, PageState::kIsolated);
+  // Block 0 has no occupied pages left.
+  EXPECT_EQ(memmap_->BlockOccupied(0), 0u);
+}
+
+TEST_F(MigrationTest, TargetHostBackingIsPopulated) {
+  const Pfn head = zone_->Alloc(0, PageKind::kAnon, 1, 0);
+  (void)head;
+  zone_->IsolateFreeRange(0, kPagesPerBlock);
+  MigrateOutOfRange(*memmap_, *zone_, *zone_, 0, kPagesPerBlock, cost_, &registry_);
+  ASSERT_EQ(registry_.moves.size(), 1u);
+  EXPECT_TRUE(memmap_->page(registry_.moves[0].to).host_populated);
+}
+
+TEST_F(MigrationTest, KernelPageAbortsOffline) {
+  const Pfn pinned = zone_->Alloc(0, PageKind::kKernel, kNoOwner, 0);
+  ASSERT_LT(pinned, kPagesPerBlock);
+  zone_->IsolateFreeRange(0, kPagesPerBlock);
+  const MigrateOutcome out =
+      MigrateOutOfRange(*memmap_, *zone_, *zone_, 0, kPagesPerBlock, cost_, &registry_);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(memmap_->page(pinned).state, PageState::kAllocated);
+}
+
+TEST_F(MigrationTest, FailsWhenTargetZoneExhausted) {
+  // Fill the whole zone, then try to evacuate block 0: nowhere to go.
+  std::vector<Pfn> folios;
+  while (true) {
+    const Pfn pfn = zone_->Alloc(kThpOrder, PageKind::kAnon, 1, 0);
+    if (pfn == kInvalidPfn) {
+      break;
+    }
+    folios.push_back(pfn);
+  }
+  zone_->IsolateFreeRange(0, kPagesPerBlock);  // Isolates nothing (all used).
+  const MigrateOutcome out =
+      MigrateOutOfRange(*memmap_, *zone_, *zone_, 0, kPagesPerBlock, cost_, &registry_);
+  EXPECT_FALSE(out.ok);
+}
+
+TEST_F(MigrationTest, MixedFolioSizesAllMove) {
+  std::vector<std::tuple<Pfn, uint8_t>> folios;
+  // A mix of orders in block 0.
+  const uint8_t orders[] = {0, 3, static_cast<uint8_t>(kThpOrder), 1, 5};
+  for (const uint8_t order : orders) {
+    const Pfn pfn = zone_->Alloc(order, PageKind::kFile, /*owner=*/3, /*slot=*/order);
+    ASSERT_LT(pfn, kPagesPerBlock);
+    folios.push_back({pfn, order});
+  }
+  zone_->IsolateFreeRange(0, kPagesPerBlock);
+  const MigrateOutcome out =
+      MigrateOutOfRange(*memmap_, *zone_, *zone_, 0, kPagesPerBlock, cost_, &registry_);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.folios_moved, folios.size());
+  uint64_t expected_pages = 0;
+  for (const auto& [pfn, order] : folios) {
+    expected_pages += 1u << order;
+  }
+  EXPECT_EQ(out.pages_moved, expected_pages);
+  // Every frame of block 0 is now isolated.
+  EXPECT_EQ(memmap_->CountBlockPages(0, PageState::kIsolated),
+            static_cast<uint64_t>(kPagesPerBlock));
+}
+
+TEST_F(MigrationTest, CostScalesWithPagesMoved) {
+  const Pfn a = zone_->Alloc(0, PageKind::kAnon, 1, 0);
+  const Pfn b = zone_->Alloc(kThpOrder, PageKind::kAnon, 1, 1);
+  ASSERT_LT(a, kPagesPerBlock);
+  ASSERT_LT(b, kPagesPerBlock);
+  zone_->IsolateFreeRange(0, kPagesPerBlock);
+  const MigrateOutcome out =
+      MigrateOutOfRange(*memmap_, *zone_, *zone_, 0, kPagesPerBlock, cost_, &registry_);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.cost, cost_.MigrateFolio(1) + cost_.MigrateFolio(1u << kThpOrder));
+}
+
+TEST_F(MigrationTest, NullRegistryIsAllowed) {
+  zone_->Alloc(0, PageKind::kAnon, 1, 0);
+  zone_->IsolateFreeRange(0, kPagesPerBlock);
+  const MigrateOutcome out =
+      MigrateOutOfRange(*memmap_, *zone_, *zone_, 0, kPagesPerBlock, cost_, nullptr);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.folios_moved, 1u);
+}
+
+TEST_F(MigrationTest, CrossZoneMigration) {
+  // Target zone is a different zone (e.g. movable -> movable of another
+  // span); folios land there and carry ownership.
+  MemMap memmap(GiB(1));
+  Zone src(0, ZoneType::kMovable, "src", &memmap);
+  Zone dst(1, ZoneType::kMovable, "dst", &memmap);
+  memmap.InitBlock(0);
+  memmap.InitBlock(1);
+  src.AddFreeRange(MemMap::BlockStart(0), kPagesPerBlock);
+  dst.AddFreeRange(MemMap::BlockStart(1), kPagesPerBlock);
+
+  const Pfn head = src.Alloc(4, PageKind::kAnon, 9, 2);
+  ASSERT_NE(head, kInvalidPfn);
+  src.IsolateFreeRange(0, kPagesPerBlock);
+  RecordingRegistry reg;
+  const MigrateOutcome out =
+      MigrateOutOfRange(memmap, src, dst, 0, kPagesPerBlock, CostModel::Default(), &reg);
+  ASSERT_TRUE(out.ok);
+  ASSERT_EQ(reg.moves.size(), 1u);
+  EXPECT_EQ(memmap.page(reg.moves[0].to).zone_id, 1);
+  EXPECT_EQ(dst.allocated_pages(), 16u);
+  // The source range is fully isolated and can be retired, emptying src.
+  src.RetireRange(0, kPagesPerBlock);
+  EXPECT_EQ(src.managed_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace squeezy

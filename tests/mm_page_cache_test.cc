@@ -1,0 +1,68 @@
+// Unit tests for the guest page cache.
+#include <gtest/gtest.h>
+
+#include "src/mm/page_cache.h"
+#include "src/sim/cost_model.h"
+
+namespace squeezy {
+namespace {
+
+TEST(PageCacheTest, RegisterFileSizesPages) {
+  PageCache cache;
+  const int32_t f = cache.RegisterFile("rootfs", MiB(1));
+  EXPECT_EQ(f, 0);
+  EXPECT_EQ(cache.FilePages(f), MiB(1) / kPageSize);
+  EXPECT_EQ(cache.file_size(f), MiB(1));
+  EXPECT_EQ(cache.file_name(f), "rootfs");
+  EXPECT_EQ(cache.file_count(), 1u);
+}
+
+TEST(PageCacheTest, RegisterOddSizeRoundsUp) {
+  PageCache cache;
+  const int32_t f = cache.RegisterFile("x", kPageSize + 1);
+  EXPECT_EQ(cache.FilePages(f), 2u);
+}
+
+TEST(PageCacheTest, InsertLookupRemove) {
+  PageCache cache;
+  const int32_t f = cache.RegisterFile("lib.so", MiB(1));
+  EXPECT_FALSE(cache.Cached(f, 0));
+  EXPECT_EQ(cache.Lookup(f, 0), kInvalidPfn);
+
+  cache.Insert(f, 0, 100);
+  cache.Insert(f, 5, 105);
+  EXPECT_TRUE(cache.Cached(f, 0));
+  EXPECT_EQ(cache.Lookup(f, 5), 105u);
+  EXPECT_EQ(cache.cached_pages(f), 2u);
+  EXPECT_EQ(cache.total_cached_pages(), 2u);
+  EXPECT_EQ(cache.total_cached_bytes(), 2 * kPageSize);
+
+  EXPECT_EQ(cache.Remove(f, 0), 100u);
+  EXPECT_FALSE(cache.Cached(f, 0));
+  EXPECT_EQ(cache.cached_pages(f), 1u);
+}
+
+TEST(PageCacheTest, RelocateUpdatesMapping) {
+  PageCache cache;
+  const int32_t f = cache.RegisterFile("bin", MiB(1));
+  cache.Insert(f, 3, 200);
+  cache.Relocate(f, 3, 999);
+  EXPECT_EQ(cache.Lookup(f, 3), 999u);
+  EXPECT_EQ(cache.cached_pages(f), 1u);  // Count unchanged.
+}
+
+TEST(PageCacheTest, MultipleFilesIndependent) {
+  PageCache cache;
+  const int32_t a = cache.RegisterFile("a", MiB(1));
+  const int32_t b = cache.RegisterFile("b", MiB(2));
+  cache.Insert(a, 0, 1);
+  cache.Insert(b, 0, 2);
+  EXPECT_EQ(cache.Lookup(a, 0), 1u);
+  EXPECT_EQ(cache.Lookup(b, 0), 2u);
+  EXPECT_EQ(cache.total_cached_pages(), 2u);
+  cache.Remove(a, 0);
+  EXPECT_TRUE(cache.Cached(b, 0));
+}
+
+}  // namespace
+}  // namespace squeezy

@@ -1,0 +1,244 @@
+// Randomized property tests (parameterized sweeps): the system-wide
+// invariants of DESIGN.md §6 must survive arbitrary operation sequences.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/core/squeezy.h"
+#include "src/guest/guest_kernel.h"
+#include "src/host/host_memory.h"
+#include "src/host/hypervisor.h"
+#include "src/sim/rng.h"
+
+namespace squeezy {
+namespace {
+
+// --- Vanilla guest fuzz: mixed process/file/hotplug/balloon ops ---------------
+
+class GuestFuzzTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(GuestFuzzTest, MixedOperationsKeepInvariants) {
+  const uint64_t seed = GetParam();
+  HostMemory host(GiB(64));
+  CostModel cost = CostModel::Default();
+  Hypervisor hv(&host, &cost);
+  GuestConfig cfg;
+  cfg.base_memory = MiB(512);
+  cfg.hotplug_region = GiB(2);
+  cfg.seed = seed;
+  cfg.unplug_timeout = Minutes(1);
+  GuestKernel guest(cfg, &hv);
+  guest.PlugMemory(MiB(512), 0);
+
+  Rng rng(seed * 2654435761ull + 1);
+  std::vector<Pid> live;
+  std::vector<int32_t> files;
+  files.push_back(guest.CreateFile("f0", MiB(32)));
+
+  for (int step = 0; step < 300; ++step) {
+    switch (rng.UniformInt(0, 6)) {
+      case 0: {  // Spawn + touch.
+        const Pid pid = guest.CreateProcess();
+        guest.TouchAnon(pid, static_cast<uint64_t>(rng.UniformInt(1, 64)) * MiB(1), 0);
+        if (guest.Alive(pid)) {
+          live.push_back(pid);
+        }
+        break;
+      }
+      case 1: {  // Exit.
+        if (!live.empty()) {
+          const size_t i =
+              static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+          guest.Exit(live[i]);
+          live[i] = live.back();
+          live.pop_back();
+        }
+        break;
+      }
+      case 2: {  // Partial free + re-touch.
+        if (!live.empty()) {
+          const Pid pid = live[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+          const uint64_t freed = guest.FreeAnon(pid, MiB(8));
+          guest.TouchAnon(pid, freed, 0);
+          if (!guest.Alive(pid)) {
+            for (size_t i = 0; i < live.size(); ++i) {
+              if (live[i] == pid) {
+                live[i] = live.back();
+                live.pop_back();
+                break;
+              }
+            }
+          }
+        }
+        break;
+      }
+      case 3: {  // File touch (shared cache).
+        if (!live.empty()) {
+          const Pid pid = live[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+          guest.TouchFile(pid, files[0], MiB(16), 0);
+        }
+        break;
+      }
+      case 4:  // Plug.
+        guest.PlugMemory(kMemoryBlockBytes, 0);
+        break;
+      case 5:  // Unplug (may migrate or fail under pressure: both legal).
+        guest.UnplugMemory(kMemoryBlockBytes, 0);
+        break;
+      case 6:  // Balloon round-trip.
+        guest.BalloonReclaim(MiB(16), 0);
+        guest.balloon().Deflate(MiB(16), guest.memmap(), &guest.movable_zone());
+        break;
+    }
+    // Invariants checked every step.
+    ASSERT_TRUE(guest.movable_zone().CheckFreeLists());
+    ASSERT_TRUE(guest.normal_zone().CheckFreeLists());
+    // Occupancy counters match full scans on a sampled block.
+    const BlockIndex b = static_cast<BlockIndex>(
+        rng.UniformInt(0, static_cast<int64_t>(guest.memmap().block_count()) - 1));
+    if (guest.memmap().block_state(b) == BlockState::kOnline) {
+      ASSERT_EQ(guest.memmap().BlockOccupied(b),
+                guest.memmap().CountBlockPages(b, PageState::kAllocated));
+    }
+  }
+  // Tear down everything: zones must drain to zero allocations.
+  for (const Pid pid : live) {
+    guest.Exit(pid);
+  }
+  guest.balloon().Deflate(GiB(1), guest.memmap(), &guest.movable_zone());
+  EXPECT_EQ(guest.movable_zone().allocated_pages(),
+            guest.page_cache().total_cached_pages());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuestFuzzTest, testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// --- Squeezy fuzz across partition geometries ---------------------------------
+
+class SqueezyFuzzTest
+    : public testing::TestWithParam<std::tuple<uint64_t /*partition MiB*/, uint32_t /*N*/,
+                                               uint64_t /*seed*/>> {};
+
+TEST_P(SqueezyFuzzTest, PartitionStateMachineConsistent) {
+  const auto [part_mib, nr, seed] = GetParam();
+  HostMemory host(GiB(96));
+  CostModel cost = CostModel::Default();
+  Hypervisor hv(&host, &cost);
+  SqueezyConfig scfg;
+  scfg.partition_bytes = part_mib * MiB(1);
+  scfg.nr_partitions = nr;
+  scfg.shared_bytes = MiB(128);
+  GuestConfig cfg;
+  cfg.base_memory = MiB(512);
+  cfg.hotplug_region = scfg.region_bytes();
+  cfg.seed = seed;
+  GuestKernel guest(cfg, &hv);
+  SqueezyManager sqz(&guest, scfg);
+
+  Rng rng(seed + 7);
+  std::vector<Pid> live;
+  for (int step = 0; step < 200; ++step) {
+    const int64_t op = rng.UniformInt(0, 3);
+    if (op == 0 && sqz.populated_partitions() < nr) {
+      guest.PlugMemory(scfg.partition_bytes, 0);
+    } else if (op == 1 && sqz.ready_partitions() > 0) {
+      const Pid pid = guest.CreateProcess();
+      ASSERT_TRUE(sqz.SqueezyEnable(pid).has_value());
+      const uint64_t bytes =
+          static_cast<uint64_t>(rng.UniformInt(1, static_cast<int64_t>(part_mib) - 32)) *
+          MiB(1);
+      ASSERT_FALSE(guest.TouchAnon(pid, bytes, 0).oom);
+      live.push_back(pid);
+    } else if (op == 2 && !live.empty()) {
+      const size_t i =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      guest.Exit(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    } else if (op == 3 && sqz.ready_partitions() > 0) {
+      const UnplugOutcome out = guest.UnplugMemory(scfg.partition_bytes, 0);
+      ASSERT_EQ(out.pages_migrated, 0u);
+    }
+
+    // State-machine invariants.
+    uint32_t assigned = 0;
+    for (size_t p = 0; p < sqz.partition_count(); ++p) {
+      const Partition& part = sqz.partition(static_cast<int32_t>(p));
+      switch (part.state) {
+        case PartitionState::kUnplugged:
+          ASSERT_EQ(part.populated_blocks, 0u);
+          ASSERT_EQ(part.users, 0u);
+          break;
+        case PartitionState::kPopulating:
+          ASSERT_GT(part.populated_blocks, 0u);
+          ASSERT_LT(part.populated_blocks, part.nr_blocks);
+          break;
+        case PartitionState::kReady:
+          ASSERT_EQ(part.populated_blocks, part.nr_blocks);
+          ASSERT_EQ(part.users, 0u);
+          ASSERT_EQ(part.zone->allocated_pages(), 0u);
+          break;
+        case PartitionState::kAssigned:
+          ASSERT_GT(part.users, 0u);
+          ++assigned;
+          break;
+      }
+    }
+    ASSERT_EQ(assigned, live.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SqueezyFuzzTest,
+    testing::Combine(testing::Values(128u, 256u, 768u), testing::Values(2u, 4u, 8u),
+                     testing::Values(1u, 2u)),
+    [](const testing::TestParamInfo<std::tuple<uint64_t, uint32_t, uint64_t>>& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "mib_n" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// --- Reclaim-latency monotonicity sweep ----------------------------------------
+
+class ReclaimScalingTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReclaimScalingTest, SqueezyUnplugLinearInBlocks) {
+  const uint64_t mib = GetParam();
+  HostMemory host(GiB(96));
+  CostModel cost = CostModel::Default();
+  Hypervisor hv(&host, &cost);
+  SqueezyConfig scfg;
+  scfg.partition_bytes = mib * MiB(1);
+  scfg.nr_partitions = 2;
+  scfg.shared_bytes = 0;
+  GuestConfig cfg;
+  cfg.base_memory = MiB(512);
+  cfg.hotplug_region = scfg.region_bytes();
+  GuestKernel guest(cfg, &hv);
+  SqueezyManager sqz(&guest, scfg);
+  guest.PlugMemory(scfg.partition_bytes, 0);
+  const UnplugOutcome out = guest.UnplugMemory(scfg.partition_bytes, 0);
+  ASSERT_TRUE(out.complete);
+  // Latency = request fixed + blocks * (scan + offline + exit).
+  const DurationNs per_block = cost.isolate_page * kPagesPerBlock + cost.block_offline_fixed +
+                               cost.block_unplug_exit;
+  const DurationNs expected =
+      cost.unplug_request_fixed + static_cast<DurationNs>(BytesToBlocks(mib * MiB(1))) * per_block;
+  EXPECT_EQ(out.latency(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReclaimScalingTest,
+                         testing::Values(128u, 256u, 512u, 1024u, 1536u, 2048u),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return std::to_string(info.param) + "mib";
+                         });
+
+}  // namespace
+}  // namespace squeezy

@@ -1,0 +1,314 @@
+// Unit tests for the simulation kernel: time, RNG, event queue, CPU
+// accounting, cost model helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/cpu_accountant.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace squeezy {
+namespace {
+
+// --- Time -----------------------------------------------------------------
+
+TEST(TimeTest, UnitConversionsRoundTrip) {
+  EXPECT_EQ(Sec(1.0), kSecond);
+  EXPECT_EQ(Msec(1.0), kMillisecond);
+  EXPECT_EQ(Usec(1.0), kMicrosecond);
+  EXPECT_DOUBLE_EQ(ToSec(Sec(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(ToMsec(Msec(617)), 617.0);
+  EXPECT_DOUBLE_EQ(ToUsec(Usec(3.5)), 3.5);
+}
+
+TEST(TimeTest, FormatPicksNaturalUnit) {
+  EXPECT_EQ(FormatDuration(Sec(1.27)), "1.27 s");
+  EXPECT_EQ(FormatDuration(Msec(617)), "617.00 ms");
+  EXPECT_EQ(FormatDuration(Usec(42)), "42.00 us");
+  EXPECT_EQ(FormatDuration(5), "5 ns");
+}
+
+TEST(CostModelTest, ByteAndPageConversions) {
+  EXPECT_EQ(BytesToPages(1), 1u);
+  EXPECT_EQ(BytesToPages(kPageSize), 1u);
+  EXPECT_EQ(BytesToPages(kPageSize + 1), 2u);
+  EXPECT_EQ(PagesToBytes(kPagesPerBlock), kMemoryBlockBytes);
+  EXPECT_EQ(BytesToBlocks(GiB(2)), 16u);
+  EXPECT_EQ(BytesToBlocks(MiB(768)), 6u);
+  EXPECT_EQ(BytesToBlocks(1), 1u);
+}
+
+TEST(CostModelTest, DerivedHelpers) {
+  const CostModel m = CostModel::Default();
+  EXPECT_EQ(m.BalloonPerPage(), m.balloon_guest_page + m.balloon_exit_page);
+  EXPECT_EQ(m.MigrateFolio(512), m.migrate_folio_fixed + 512 * m.migrate_page);
+  EXPECT_EQ(m.ZeroPages(1000), 1000 * m.zero_page);
+  EXPECT_EQ(CostModel::NoZeroing().zero_page, 0);
+}
+
+// --- RNG -------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a.Next() == b.Next());
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanConvergesSmall) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Poisson(3.5));
+  }
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanConvergesLarge) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Poisson(100.0));
+  }
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0;
+  double sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMeanConverges) {
+  Rng rng(23);
+  const int n = 200000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.LogNormal(4.0, 0.5);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.08);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(v.begin(), v.end());
+  EXPECT_NE(v, orig);  // Astronomically unlikely to be identity.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ChanceProbability) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Chance(0.3);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+// --- EventQueue ----------------------------------------------------------------
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(Sec(3), [&] { order.push_back(3); });
+  q.ScheduleAt(Sec(1), [&] { order.push_back(1); });
+  q.ScheduleAt(Sec(2), [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), Sec(3));
+}
+
+TEST(EventQueueTest, SameInstantFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(Sec(1), [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  TimeNs fired_at = -1;
+  q.ScheduleAt(Sec(5), [&] { q.ScheduleAfter(Sec(2), [&] { fired_at = q.now(); }); });
+  q.RunAll();
+  EXPECT_EQ(fired_at, Sec(7));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.ScheduleAt(Sec(1), [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // Second cancel is a no-op.
+  q.RunAll();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelInvalidIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(9999));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(Sec(1), [&] { order.push_back(1); });
+  q.ScheduleAt(Sec(10), [&] { order.push_back(10); });
+  q.RunUntil(Sec(5));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(q.now(), Sec(5));
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 10}));
+}
+
+TEST(EventQueueTest, EventsScheduledWhileDrainingRun) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) {
+      q.ScheduleAfter(Sec(1), chain);
+    }
+  };
+  q.ScheduleAt(0, chain);
+  q.RunAll();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), Sec(4));
+}
+
+TEST(EventQueueTest, AdvanceByMovesClockWithoutRunning) {
+  EventQueue q;
+  bool ran = false;
+  q.ScheduleAt(Sec(1), [&] { ran = true; });
+  q.AdvanceBy(Sec(2));
+  EXPECT_EQ(q.now(), Sec(2));
+  EXPECT_FALSE(ran);
+  q.RunAll();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.now(), Sec(2));  // Past-due event runs at current time.
+}
+
+TEST(EventQueueTest, PastDeadlineScheduleClampsToNow) {
+  EventQueue q;
+  q.AdvanceBy(Sec(10));
+  TimeNs fired = -1;
+  q.ScheduleAt(Sec(1), [&] { fired = q.now(); });
+  q.RunAll();
+  EXPECT_EQ(fired, Sec(10));
+}
+
+// --- CpuAccountant ----------------------------------------------------------------
+
+TEST(CpuAccountantTest, SingleWindowUtilization) {
+  CpuAccountant cpu(Sec(1));
+  cpu.AddBusy("t", Msec(100), Msec(500));
+  EXPECT_DOUBLE_EQ(cpu.UtilizationAt("t", Msec(200)), 50.0);
+  EXPECT_DOUBLE_EQ(cpu.UtilizationAt("t", Sec(2)), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.UtilizationAt("other", 0), 0.0);
+}
+
+TEST(CpuAccountantTest, BusySpanSplitsAcrossWindows) {
+  CpuAccountant cpu(Sec(1));
+  // 0.5s..2.5s busy: windows get 50%, 100%, 50%.
+  cpu.AddBusy("t", Msec(500), Sec(2));
+  const std::vector<double> series = cpu.Series("t");
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 50.0);
+  EXPECT_DOUBLE_EQ(series[1], 100.0);
+  EXPECT_DOUBLE_EQ(series[2], 50.0);
+  EXPECT_EQ(cpu.TotalBusy("t"), Sec(2));
+}
+
+TEST(CpuAccountantTest, MultipleThreadsIndependent) {
+  CpuAccountant cpu(Sec(1));
+  cpu.AddBusy("a", 0, Msec(250));
+  cpu.AddBusy("b", 0, Msec(750));
+  EXPECT_DOUBLE_EQ(cpu.UtilizationAt("a", 0), 25.0);
+  EXPECT_DOUBLE_EQ(cpu.UtilizationAt("b", 0), 75.0);
+  EXPECT_EQ(cpu.threads().size(), 2u);
+}
+
+TEST(CpuAccountantTest, AccumulatesWithinWindow) {
+  CpuAccountant cpu(Sec(1));
+  cpu.AddBusy("t", 0, Msec(100));
+  cpu.AddBusy("t", Msec(500), Msec(100));
+  EXPECT_DOUBLE_EQ(cpu.UtilizationAt("t", 0), 20.0);
+}
+
+}  // namespace
+}  // namespace squeezy

@@ -1,0 +1,322 @@
+// Unit/integration tests for the Squeezy partition manager — the paper's
+// core mechanisms: partition layout, syscall assignment, waitqueue, fork
+// refcounting, migration-free unplug, isolation invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/squeezy.h"
+#include "src/guest/guest_kernel.h"
+#include "src/host/host_memory.h"
+#include "src/host/hypervisor.h"
+#include "src/sim/cost_model.h"
+
+namespace squeezy {
+namespace {
+
+class SqueezyCoreTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    host_ = std::make_unique<HostMemory>(GiB(64));
+    hv_ = std::make_unique<Hypervisor>(host_.get(), &cost_);
+
+    squeezy_cfg_.partition_bytes = MiB(256);  // 2 blocks each.
+    squeezy_cfg_.nr_partitions = 4;
+    squeezy_cfg_.shared_bytes = MiB(256);
+
+    GuestConfig cfg;
+    cfg.name = "sqz-vm";
+    cfg.base_memory = MiB(512);
+    cfg.hotplug_region = squeezy_cfg_.region_bytes();
+    cfg.shuffle_allocator = false;
+    guest_ = std::make_unique<GuestKernel>(cfg, hv_.get());
+    sqz_ = std::make_unique<SqueezyManager>(guest_.get(), squeezy_cfg_);
+  }
+
+  // Plugs one partition's worth and returns the plug outcome.
+  PlugOutcome PlugOnePartition(TimeNs now = 0) {
+    return guest_->PlugMemory(squeezy_cfg_.partition_bytes, now);
+  }
+
+  CostModel cost_ = CostModel::Default();
+  SqueezyConfig squeezy_cfg_;
+  std::unique_ptr<HostMemory> host_;
+  std::unique_ptr<Hypervisor> hv_;
+  std::unique_ptr<GuestKernel> guest_;
+  std::unique_ptr<SqueezyManager> sqz_;
+};
+
+TEST_F(SqueezyCoreTest, BootPlugsSharedPartitionOnly) {
+  EXPECT_EQ(sqz_->shared_zone()->managed_pages(), MiB(256) / kPageSize);
+  EXPECT_EQ(sqz_->populated_partitions(), 0u);
+  EXPECT_EQ(sqz_->ready_partitions(), 0u);
+  for (size_t i = 0; i < sqz_->partition_count(); ++i) {
+    EXPECT_EQ(sqz_->partition(static_cast<int32_t>(i)).state, PartitionState::kUnplugged);
+  }
+  // File faults are routed at the shared partition.
+  EXPECT_EQ(guest_->file_zone(), sqz_->shared_zone());
+}
+
+TEST_F(SqueezyCoreTest, PartitionOfBlockLayout) {
+  const BlockIndex first = guest_->hotplug_first_block();
+  // Shared partition: first 2 blocks.
+  EXPECT_EQ(sqz_->PartitionOfBlock(first), -1);
+  EXPECT_EQ(sqz_->PartitionOfBlock(first + 1), -1);
+  EXPECT_EQ(sqz_->PartitionOfBlock(first + 2), 0);
+  EXPECT_EQ(sqz_->PartitionOfBlock(first + 3), 0);
+  EXPECT_EQ(sqz_->PartitionOfBlock(first + 4), 1);
+  EXPECT_EQ(sqz_->PartitionOfBlock(first + 9), 3);
+}
+
+TEST_F(SqueezyCoreTest, PlugPopulatesOnePartition) {
+  const PlugOutcome out = PlugOnePartition();
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(sqz_->ready_partitions(), 1u);
+  EXPECT_EQ(sqz_->partition(0).state, PartitionState::kReady);
+  EXPECT_EQ(sqz_->partition(0).populated_blocks, 2u);
+  EXPECT_EQ(sqz_->partition(0).zone->managed_pages(), MiB(256) / kPageSize);
+}
+
+TEST_F(SqueezyCoreTest, SqueezyEnableAssignsReadyPartition) {
+  PlugOnePartition();
+  const Pid pid = guest_->CreateProcess();
+  const std::optional<int32_t> part = sqz_->SqueezyEnable(pid);
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ(*part, 0);
+  EXPECT_EQ(sqz_->partition(0).state, PartitionState::kAssigned);
+  EXPECT_EQ(sqz_->partition(0).users, 1u);
+  EXPECT_EQ(guest_->process(pid).partition_id(), 0);
+  EXPECT_EQ(guest_->process(pid).anon_zone(), sqz_->partition(0).zone);
+}
+
+TEST_F(SqueezyCoreTest, SqueezyEnableFailsWithoutPlug) {
+  const Pid pid = guest_->CreateProcess();
+  EXPECT_FALSE(sqz_->SqueezyEnable(pid).has_value());
+}
+
+TEST_F(SqueezyCoreTest, WaitqueueServedOnPlug) {
+  const Pid pid = guest_->CreateProcess();
+  int32_t assigned = -1;
+  sqz_->SqueezyEnableAsync(pid, [&](int32_t part) { assigned = part; });
+  EXPECT_EQ(assigned, -1);
+  EXPECT_EQ(sqz_->waitqueue_depth(), 1u);
+  PlugOnePartition();
+  EXPECT_EQ(assigned, 0);
+  EXPECT_EQ(sqz_->waitqueue_depth(), 0u);
+  EXPECT_EQ(sqz_->stats().waitqueue_parks, 1u);
+  EXPECT_EQ(sqz_->partition(0).state, PartitionState::kAssigned);
+}
+
+TEST_F(SqueezyCoreTest, WaitqueueIsFifo) {
+  const Pid p1 = guest_->CreateProcess();
+  const Pid p2 = guest_->CreateProcess();
+  std::vector<Pid> order;
+  sqz_->SqueezyEnableAsync(p1, [&](int32_t) { order.push_back(p1); });
+  sqz_->SqueezyEnableAsync(p2, [&](int32_t) { order.push_back(p2); });
+  PlugOnePartition();
+  PlugOnePartition();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], p1);
+  EXPECT_EQ(order[1], p2);
+}
+
+TEST_F(SqueezyCoreTest, AnonymousMemoryConfinedToPartition) {
+  PlugOnePartition();
+  PlugOnePartition();
+  const Pid a = guest_->CreateProcess();
+  const Pid b = guest_->CreateProcess();
+  ASSERT_TRUE(sqz_->SqueezyEnable(a).has_value());
+  ASSERT_TRUE(sqz_->SqueezyEnable(b).has_value());
+  guest_->TouchAnon(a, MiB(200), 0);
+  guest_->TouchAnon(b, MiB(200), 0);
+
+  // Isolation invariant: every anon folio of a process lives inside its
+  // partition's block span — never interleaved (paper Fig 3b).
+  for (const Pid pid : {a, b}) {
+    const Partition& part = sqz_->partition(guest_->process(pid).partition_id());
+    for (const FolioRef& f : guest_->process(pid).folios()) {
+      if (f.head == kInvalidPfn) {
+        continue;
+      }
+      const BlockIndex blk = MemMap::BlockOf(f.head);
+      EXPECT_GE(blk, part.first_block);
+      EXPECT_LT(blk, part.first_block + part.nr_blocks);
+    }
+  }
+}
+
+TEST_F(SqueezyCoreTest, PartitionCapEnforcedByOom) {
+  PlugOnePartition();
+  const Pid pid = guest_->CreateProcess();
+  ASSERT_TRUE(sqz_->SqueezyEnable(pid).has_value());
+  // Partition is 256 MiB; ask for more.
+  const TouchResult r = guest_->TouchAnon(pid, MiB(300), 0);
+  EXPECT_TRUE(r.oom);
+  EXPECT_EQ(guest_->process(pid).state(), ProcessState::kOomKilled);
+  // The OOM kill drained the partition: it is ready again.
+  EXPECT_EQ(sqz_->partition(0).state, PartitionState::kReady);
+}
+
+TEST_F(SqueezyCoreTest, FilePagesGoToSharedPartition) {
+  PlugOnePartition();
+  const Pid pid = guest_->CreateProcess();
+  ASSERT_TRUE(sqz_->SqueezyEnable(pid).has_value());
+  const int32_t file = guest_->CreateFile("deps", MiB(64));
+  guest_->TouchFile(pid, file, MiB(64), 0);
+  EXPECT_EQ(sqz_->shared_zone()->allocated_pages(), MiB(64) / kPageSize);
+  // Private partition holds no file pages.
+  EXPECT_EQ(sqz_->partition(0).zone->allocated_pages(), 0u);
+}
+
+TEST_F(SqueezyCoreTest, ForkBumpsRefcountAndExitDrops) {
+  PlugOnePartition();
+  const Pid parent = guest_->CreateProcess();
+  ASSERT_TRUE(sqz_->SqueezyEnable(parent).has_value());
+  const Pid child = guest_->Fork(parent);
+  EXPECT_EQ(sqz_->partition(0).users, 2u);
+  EXPECT_EQ(guest_->process(child).partition_id(), 0);
+
+  guest_->Exit(parent);
+  EXPECT_EQ(sqz_->partition(0).users, 1u);
+  EXPECT_EQ(sqz_->partition(0).state, PartitionState::kAssigned);
+
+  guest_->Exit(child);
+  EXPECT_EQ(sqz_->partition(0).users, 0u);
+  EXPECT_EQ(sqz_->partition(0).state, PartitionState::kReady);
+}
+
+TEST_F(SqueezyCoreTest, UnplugReclaimsDrainedPartitionWithZeroMigrations) {
+  PlugOnePartition();
+  const Pid pid = guest_->CreateProcess();
+  ASSERT_TRUE(sqz_->SqueezyEnable(pid).has_value());
+  guest_->TouchAnon(pid, MiB(200), 0);
+  guest_->Exit(pid);
+
+  const UnplugOutcome out = guest_->UnplugMemory(squeezy_cfg_.partition_bytes, 0);
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(out.pages_migrated, 0u);       // The headline invariant.
+  EXPECT_EQ(out.breakdown.migration, 0);   // No migration cost either.
+  EXPECT_EQ(out.breakdown.zeroing, 0);     // Zeroing skipped.
+  EXPECT_EQ(sqz_->partition(0).state, PartitionState::kUnplugged);
+  EXPECT_EQ(sqz_->stats().partitions_reclaimed, 1u);
+}
+
+TEST_F(SqueezyCoreTest, UnplugSkipsAssignedPartitions) {
+  PlugOnePartition();
+  PlugOnePartition();
+  const Pid pid = guest_->CreateProcess();
+  ASSERT_TRUE(sqz_->SqueezyEnable(pid).has_value());
+  guest_->TouchAnon(pid, MiB(100), 0);
+  // Partition 0 assigned+busy, partition 1 ready: unplug must take 1.
+  const UnplugOutcome out = guest_->UnplugMemory(squeezy_cfg_.partition_bytes, 0);
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(sqz_->partition(0).state, PartitionState::kAssigned);
+  EXPECT_EQ(sqz_->partition(1).state, PartitionState::kUnplugged);
+  // The running process is untouched.
+  EXPECT_EQ(guest_->process(pid).anon_bytes(), MiB(100));
+}
+
+TEST_F(SqueezyCoreTest, UnplugNothingAvailableWhenAllAssigned) {
+  PlugOnePartition();
+  const Pid pid = guest_->CreateProcess();
+  ASSERT_TRUE(sqz_->SqueezyEnable(pid).has_value());
+  const UnplugOutcome out = guest_->UnplugMemory(squeezy_cfg_.partition_bytes, 0);
+  EXPECT_FALSE(out.complete);
+  EXPECT_EQ(out.blocks_unplugged, 0u);
+}
+
+TEST_F(SqueezyCoreTest, DrainedPartitionReusedWithoutReplug) {
+  PlugOnePartition();
+  const Pid a = guest_->CreateProcess();
+  ASSERT_TRUE(sqz_->SqueezyEnable(a).has_value());
+  guest_->TouchAnon(a, MiB(64), 0);
+
+  // A waiter queues while the only partition is busy.
+  const Pid b = guest_->CreateProcess();
+  int32_t b_part = -1;
+  sqz_->SqueezyEnableAsync(b, [&](int32_t p) { b_part = p; });
+  EXPECT_EQ(sqz_->waitqueue_depth(), 1u);
+
+  // A exits -> the drained partition goes straight to B, no replug.
+  guest_->Exit(a);
+  EXPECT_EQ(b_part, 0);
+  EXPECT_EQ(sqz_->stats().reuse_without_replug, 1u);
+  EXPECT_EQ(sqz_->partition(0).users, 1u);
+  // And B can allocate from it immediately.
+  EXPECT_FALSE(guest_->TouchAnon(b, MiB(64), 0).oom);
+}
+
+TEST_F(SqueezyCoreTest, ReplugAfterReclaimCycle) {
+  for (int round = 0; round < 3; ++round) {
+    PlugOnePartition();
+    const Pid pid = guest_->CreateProcess();
+    ASSERT_TRUE(sqz_->SqueezyEnable(pid).has_value());
+    guest_->TouchAnon(pid, MiB(128), 0);
+    guest_->Exit(pid);
+    const UnplugOutcome out = guest_->UnplugMemory(squeezy_cfg_.partition_bytes, 0);
+    ASSERT_TRUE(out.complete);
+    ASSERT_EQ(out.pages_migrated, 0u);
+  }
+  EXPECT_EQ(sqz_->stats().partitions_reclaimed, 3u);
+}
+
+TEST_F(SqueezyCoreTest, SqueezyUnplugFasterThanVanillaOrderOfMagnitude) {
+  // Head-to-head on identical footprints: Squeezy partitioned VM vs. a
+  // vanilla VM with interleaved movable memory (mini Fig 5).
+  PlugOnePartition();
+  const Pid pid = guest_->CreateProcess();
+  ASSERT_TRUE(sqz_->SqueezyEnable(pid).has_value());
+  guest_->TouchAnon(pid, MiB(200), 0);
+  guest_->Exit(pid);
+  const UnplugOutcome squeezy_out = guest_->UnplugMemory(MiB(256), 0);
+  ASSERT_TRUE(squeezy_out.complete);
+
+  // Vanilla twin.
+  HostMemory host2(GiB(64));
+  Hypervisor hv2(&host2, &cost_);
+  GuestConfig cfg;
+  cfg.name = "vanilla-vm";
+  cfg.base_memory = MiB(512);
+  cfg.hotplug_region = GiB(2);
+  cfg.shuffle_allocator = true;
+  GuestKernel vanilla(cfg, &hv2);
+  vanilla.PlugMemory(MiB(512), 0);
+  // Two interleaving tenants fill most of the plugged span; one exits.
+  const Pid v1 = vanilla.CreateProcess();
+  const Pid v2 = vanilla.CreateProcess();
+  for (int i = 0; i < 25; ++i) {
+    vanilla.TouchAnon(v1, MiB(8), 0);
+    vanilla.TouchAnon(v2, MiB(8), 0);
+  }
+  vanilla.Exit(v1);
+  const UnplugOutcome vanilla_out = vanilla.UnplugMemory(MiB(256), 0);
+  ASSERT_TRUE(vanilla_out.complete);
+  EXPECT_GT(vanilla_out.pages_migrated, 0u);
+  // Order-of-magnitude gap (paper: 10.9x mean).
+  EXPECT_GT(static_cast<double>(vanilla_out.latency()) /
+                static_cast<double>(squeezy_out.latency()),
+            5.0);
+}
+
+TEST_F(SqueezyCoreTest, AssignmentsStatCounts) {
+  PlugOnePartition();
+  PlugOnePartition();
+  const Pid a = guest_->CreateProcess();
+  const Pid b = guest_->CreateProcess();
+  sqz_->SqueezyEnable(a);
+  sqz_->SqueezyEnable(b);
+  EXPECT_EQ(sqz_->stats().assignments, 2u);
+  EXPECT_EQ(sqz_->partition(0).users + sqz_->partition(1).users, 2u);
+}
+
+TEST_F(SqueezyCoreTest, PartitionStateNames) {
+  EXPECT_STREQ(PartitionStateName(PartitionState::kUnplugged), "Unplugged");
+  EXPECT_STREQ(PartitionStateName(PartitionState::kPopulating), "Populating");
+  EXPECT_STREQ(PartitionStateName(PartitionState::kReady), "Ready");
+  EXPECT_STREQ(PartitionStateName(PartitionState::kAssigned), "Assigned");
+}
+
+}  // namespace
+}  // namespace squeezy

@@ -1,0 +1,201 @@
+// Unit tests for the virtio-mem device with a vanilla-style hook policy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/host/host_memory.h"
+#include "src/host/hypervisor.h"
+#include "src/hotplug/virtio_mem.h"
+#include "src/mm/memmap.h"
+#include "src/mm/zone.h"
+#include "src/sim/cost_model.h"
+
+namespace squeezy {
+namespace {
+
+// Minimal vanilla policy over a single movable zone.
+class TestHooks : public VirtioMemHooks {
+ public:
+  TestHooks(MemMap* memmap, Zone* zone, BlockIndex first, uint32_t count)
+      : memmap_(memmap), zone_(zone), first_(first), count_(count) {}
+
+  std::vector<BlockIndex> SelectPlugBlocks(uint64_t max_blocks) override {
+    std::vector<BlockIndex> out;
+    for (BlockIndex b = first_; b < first_ + count_ && out.size() < max_blocks; ++b) {
+      if (memmap_->block_state(b) == BlockState::kAbsent) {
+        out.push_back(b);
+      }
+    }
+    return out;
+  }
+  Zone* OnlineTargetZone(BlockIndex) override { return zone_; }
+  void OnBlockOnline(BlockIndex b) override { online_events.push_back(b); }
+  std::vector<BlockIndex> SelectUnplugBlocks(uint64_t) override {
+    std::vector<BlockIndex> out;
+    for (BlockIndex b = first_; b < first_ + count_; ++b) {
+      if (memmap_->block_state(b) == BlockState::kOnline) {
+        out.push_back(b);
+      }
+    }
+    std::stable_sort(out.begin(), out.end(), [this](BlockIndex a, BlockIndex b) {
+      return memmap_->BlockOccupied(a) < memmap_->BlockOccupied(b);
+    });
+    return out;
+  }
+  OfflineOptions OfflineOptionsFor(BlockIndex) override { return OfflineOptions{}; }
+  Zone* BlockZone(BlockIndex) override { return zone_; }
+  Zone* MigrationTarget(BlockIndex) override { return zone_; }
+  void OnBlockUnplugged(BlockIndex b) override { unplug_events.push_back(b); }
+
+  std::vector<BlockIndex> online_events;
+  std::vector<BlockIndex> unplug_events;
+
+ private:
+  MemMap* memmap_;
+  Zone* zone_;
+  BlockIndex first_;
+  uint32_t count_;
+};
+
+class VirtioMemTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    memmap_ = std::make_unique<MemMap>(GiB(1));  // 8 blocks, all device-managed.
+    zone_ = std::make_unique<Zone>(0, ZoneType::kMovable, "mv", memmap_.get());
+    host_ = std::make_unique<HostMemory>(GiB(8));
+    hv_ = std::make_unique<Hypervisor>(host_.get(), &cost_);
+    vm_ = hv_->RegisterVm("vm", 1);
+    mgr_ = std::make_unique<HotplugManager>(memmap_.get(), &cost_, hv_.get(), vm_, nullptr);
+    hooks_ = std::make_unique<TestHooks>(memmap_.get(), zone_.get(), 0, 8);
+    VirtioMemConfig cfg;
+    cfg.first_block = 0;
+    cfg.nr_blocks = 8;
+    device_ = std::make_unique<VirtioMemDevice>(cfg, mgr_.get(), hooks_.get());
+  }
+
+  CostModel cost_ = CostModel::Default();
+  std::unique_ptr<MemMap> memmap_;
+  std::unique_ptr<Zone> zone_;
+  std::unique_ptr<HostMemory> host_;
+  std::unique_ptr<Hypervisor> hv_;
+  VmId vm_ = 0;
+  std::unique_ptr<HotplugManager> mgr_;
+  std::unique_ptr<TestHooks> hooks_;
+  std::unique_ptr<VirtioMemDevice> device_;
+};
+
+TEST_F(VirtioMemTest, PlugRoundsUpToBlocks) {
+  const PlugOutcome out = device_->Plug(MiB(200), 0);  // 2 blocks.
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(out.bytes_plugged, 2 * kMemoryBlockBytes);
+  EXPECT_EQ(device_->plugged_blocks(), 2u);
+  EXPECT_EQ(zone_->managed_pages(), 2u * kPagesPerBlock);
+  EXPECT_EQ(hooks_->online_events.size(), 2u);
+}
+
+TEST_F(VirtioMemTest, PlugLatencyMatchesModel) {
+  const PlugOutcome out = device_->Plug(MiB(768), 0);  // 6 blocks.
+  EXPECT_EQ(out.latency,
+            cost_.plug_request_fixed + 6 * (cost_.block_hotadd + cost_.block_online));
+  // Paper §6.2.1: plugging a function's memory costs 35-45 ms.
+  EXPECT_GE(out.latency, Msec(30));
+  EXPECT_LE(out.latency, Msec(48));
+}
+
+TEST_F(VirtioMemTest, PlugBeyondRegionIsPartial) {
+  const PlugOutcome out = device_->Plug(GiB(2), 0);  // Region only holds 1 GiB.
+  EXPECT_FALSE(out.complete);
+  EXPECT_EQ(out.bytes_plugged, GiB(1));
+  EXPECT_EQ(device_->plugged_bytes(), GiB(1));
+}
+
+TEST_F(VirtioMemTest, UnplugEmptyMemoryIsFast) {
+  device_->Plug(GiB(1), 0);
+  const UnplugOutcome out = device_->Unplug(MiB(256), 0);
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(out.blocks_unplugged, 2u);
+  EXPECT_EQ(out.pages_migrated, 0u);
+  EXPECT_EQ(device_->plugged_blocks(), 6u);
+  EXPECT_EQ(hooks_->unplug_events.size(), 2u);
+}
+
+TEST_F(VirtioMemTest, UnplugPrefersEmptiestBlocks) {
+  device_->Plug(GiB(1), 0);
+  // Occupy block 0 heavily (zone allocates ascending), leave the rest free.
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_NE(zone_->Alloc(kThpOrder, PageKind::kAnon, 1, 0), kInvalidPfn);
+  }
+  ASSERT_GT(memmap_->BlockOccupied(0), 0u);
+  const UnplugOutcome out = device_->Unplug(kMemoryBlockBytes, 0);
+  ASSERT_TRUE(out.complete);
+  // The occupied block 0 must have been skipped.
+  EXPECT_EQ(memmap_->block_state(0), BlockState::kOnline);
+  EXPECT_EQ(out.pages_migrated, 0u);
+}
+
+TEST_F(VirtioMemTest, UnplugMigratesWhenAllBlocksOccupied) {
+  device_->Plug(GiB(1), 0);
+  // Fill the whole region with THP folios, then free every other one:
+  // every block ends up ~50% occupied, so any unplug must migrate.
+  std::vector<Pfn> folios;
+  while (true) {
+    const Pfn pfn = zone_->Alloc(kThpOrder, PageKind::kAnon, 1, 0);
+    if (pfn == kInvalidPfn) {
+      break;
+    }
+    folios.push_back(pfn);
+  }
+  for (size_t i = 0; i < folios.size(); i += 2) {
+    zone_->Free(folios[i]);
+  }
+  for (BlockIndex b = 0; b < 8; ++b) {
+    ASSERT_GT(memmap_->BlockOccupied(b), 0u);
+  }
+  const UnplugOutcome out = device_->Unplug(kMemoryBlockBytes, 0);
+  ASSERT_TRUE(out.complete);
+  EXPECT_GT(out.pages_migrated, 0u);
+  EXPECT_GT(out.breakdown.migration, 0);
+}
+
+TEST_F(VirtioMemTest, UnplugTimesOutUnderPressure) {
+  VirtioMemConfig cfg;
+  cfg.first_block = 0;
+  cfg.nr_blocks = 8;
+  cfg.unplug_timeout = Msec(1);  // Absurdly tight.
+  VirtioMemDevice tight(cfg, mgr_.get(), hooks_.get());
+  tight.Plug(GiB(1), 0);
+  const UnplugOutcome out = tight.Unplug(GiB(1), 0);
+  EXPECT_TRUE(out.timed_out);
+  EXPECT_FALSE(out.complete);
+  EXPECT_LT(out.blocks_unplugged, 8u);
+}
+
+TEST_F(VirtioMemTest, UnplugZeroingDominatedByFreePages) {
+  device_->Plug(kMemoryBlockBytes, 0);
+  const UnplugOutcome out = device_->Unplug(kMemoryBlockBytes, 0);
+  ASSERT_TRUE(out.complete);
+  EXPECT_EQ(out.breakdown.zeroing, cost_.ZeroPages(kPagesPerBlock));
+}
+
+TEST_F(VirtioMemTest, LifetimeStatsAccumulate) {
+  device_->Plug(GiB(1), 0);
+  device_->Unplug(MiB(256), 0);
+  device_->Unplug(MiB(128), 0);
+  EXPECT_EQ(device_->total_unplugged_bytes(), MiB(384));
+  EXPECT_GT(device_->total_unplug_time(), 0);
+}
+
+TEST_F(VirtioMemTest, ReplugAfterUnplug) {
+  device_->Plug(GiB(1), 0);
+  device_->Unplug(GiB(1), 0);
+  EXPECT_EQ(device_->plugged_blocks(), 0u);
+  const PlugOutcome out = device_->Plug(MiB(384), 0);
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(device_->plugged_blocks(), 3u);
+  EXPECT_EQ(zone_->managed_pages(), 3u * kPagesPerBlock);
+}
+
+}  // namespace
+}  // namespace squeezy

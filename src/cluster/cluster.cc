@@ -1,0 +1,104 @@
+#include "src/cluster/cluster.h"
+
+#include <cassert>
+
+namespace squeezy {
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  assert(config_.nr_hosts > 0);
+  std::vector<FaasRuntime*> raw;
+  raw.reserve(config_.nr_hosts);
+  for (size_t h = 0; h < config_.nr_hosts; ++h) {
+    RuntimeConfig host_cfg = config_.host;
+    host_cfg.seed = TraceStreamSeed(config_.host.seed, static_cast<int32_t>(h));
+    hosts_.push_back(std::make_unique<FaasRuntime>(host_cfg, &events_));
+    raw.push_back(hosts_.back().get());
+  }
+  routed_.assign(config_.nr_hosts, 0);
+  scheduler_ = std::make_unique<ClusterScheduler>(config_.placement, std::move(raw));
+}
+
+Cluster::~Cluster() = default;
+
+int Cluster::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency) {
+  const int cluster_fn = static_cast<int>(functions_.size());
+  const uint64_t boot_commit =
+      FaasRuntime::BootCommitment(config_.host, spec, max_concurrency);
+  const uint64_t plug_unit = BytesToBlocks(spec.memory_limit) * kMemoryBlockBytes;
+  const size_t replicas_wanted = config_.replicas_per_function == 0
+                                     ? hosts_.size()
+                                     : config_.replicas_per_function;
+  const std::vector<size_t> placed =
+      scheduler_->PlaceFunction(boot_commit, plug_unit, replicas_wanted);
+
+  std::vector<Replica> replicas;
+  replicas.reserve(placed.size());
+  for (const size_t h : placed) {
+    replicas.push_back(Replica{h, hosts_[h]->AddFunction(spec, max_concurrency)});
+  }
+  functions_.push_back(std::move(replicas));
+  return cluster_fn;
+}
+
+void Cluster::SubmitTrace(const std::vector<Invocation>& trace) {
+  for (const Invocation& inv : trace) {
+    const int cluster_fn = inv.function;
+    assert(cluster_fn >= 0 && static_cast<size_t>(cluster_fn) < functions_.size());
+    events_.ScheduleAt(inv.at, [this, cluster_fn] { Dispatch(cluster_fn); });
+  }
+}
+
+void Cluster::Dispatch(int cluster_fn) {
+  if (functions_[static_cast<size_t>(cluster_fn)].empty()) {
+    ++unplaced_;  // No host could ever fit this function's VM.
+    return;
+  }
+  const Replica& r =
+      scheduler_->Route(cluster_fn, functions_[static_cast<size_t>(cluster_fn)]);
+  ++routed_[r.host];
+  // FNV-1a over (function, host) pairs: any divergence in any decision
+  // changes the digest.
+  routing_hash_ ^= static_cast<uint64_t>(cluster_fn) * 131 + r.host + 1;
+  routing_hash_ *= 0x100000001b3ULL;
+  hosts_[r.host]->agent(r.local_fn).Submit();
+}
+
+StepSeries Cluster::FleetCommittedSeries() const {
+  std::vector<const StepSeries*> parts;
+  parts.reserve(hosts_.size());
+  for (const auto& h : hosts_) {
+    parts.push_back(&h->host().committed_series());
+  }
+  return SumSeries(parts);
+}
+
+FleetSummary Cluster::Summarize(TimeNs horizon) const {
+  FleetSummary s;
+  s.hosts = hosts_.size();
+  std::vector<const LatencyRecorder*> recorders;
+  for (const auto& h : hosts_) {
+    for (size_t fn = 0; fn < h->function_count(); ++fn) {
+      const Agent& agent = h->agent(static_cast<int>(fn));
+      recorders.push_back(&agent.latencies());
+      s.completed_requests += agent.requests().size();
+      s.cold_starts += agent.cold_starts().size();
+      s.evictions += agent.total_evictions();
+    }
+    s.pending_scaleups_total += h->total_pending_scaleups();
+    s.unplug_failures += h->total_unplug_failures();
+  }
+  s.unplaced_invocations = unplaced_;
+  const LatencyRecorder fleet = MergeLatencies(recorders);
+  if (!fleet.empty()) {
+    s.latency_p50 = fleet.Percentile(50);
+    s.latency_p99 = fleet.Percentile(99);
+    s.latency_mean = fleet.Mean();
+  }
+  const StepSeries committed = FleetCommittedSeries();
+  s.committed_peak = static_cast<uint64_t>(committed.Max());
+  s.committed_gib_seconds =
+      committed.IntegralSec(0, horizon) / static_cast<double>(GiB(1));
+  return s;
+}
+
+}  // namespace squeezy

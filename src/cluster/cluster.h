@@ -1,0 +1,101 @@
+// Multi-host FaaS cluster (tentpole subsystem).
+//
+// Owns K FaasRuntime hosts driven by ONE shared EventQueue — a single
+// virtual clock totally orders the whole fleet, so cluster runs are as
+// bit-deterministic as single-host ones.  A ClusterScheduler routes
+// function registration (replica VM placement) and every invocation
+// (picked at arrival time against live per-host committed memory) across
+// the hosts; see src/cluster/scheduler.h for the policies.
+//
+// Layering: sim → mm/guest/hotplug → core → host/faas → cluster.  The
+// cluster layer only touches FaasRuntime's public surface (introspection
+// hooks + injected event queue), so every single-host experiment keeps
+// working unchanged.
+#ifndef SQUEEZY_CLUSTER_CLUSTER_H_
+#define SQUEEZY_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/scheduler.h"
+#include "src/faas/runtime.h"
+#include "src/metrics/fleet.h"
+#include "src/sim/event_queue.h"
+#include "src/trace/trace_gen.h"
+
+namespace squeezy {
+
+struct ClusterConfig {
+  size_t nr_hosts = 4;
+  PlacementPolicy placement = PlacementPolicy::kRoundRobin;
+  // Template for every host's runtime.  Host h runs with
+  // seed = TraceStreamSeed(host.seed, h) (trace_gen.h scheme), so hosts'
+  // internal randomness is decorrelated yet reproducible from one seed.
+  RuntimeConfig host;
+  // Replica VMs per function; 0 = one replica on every host.
+  size_t replicas_per_function = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+  ~Cluster();
+
+  // Registers `spec` on scheduler-chosen hosts; returns the cluster-level
+  // function index used by SubmitTrace traces.  Under constrained memory
+  // the function may get fewer replicas than configured — or none at all
+  // (replicas(fn).empty()), in which case its invocations are rejected and
+  // counted as unplaced.  That is the fleet-capacity lever: a reclaim
+  // policy that hoards commitment (kStatic) loses registrable functions.
+  int AddFunction(const FunctionSpec& spec, uint32_t max_concurrency);
+
+  // Schedules the merged fleet trace (Invocation::function is a cluster
+  // function index).  Routing happens per invocation at its arrival time.
+  void SubmitTrace(const std::vector<Invocation>& trace);
+
+  void RunUntil(TimeNs t) { events_.RunUntil(t); }
+  void RunAll() { events_.RunAll(); }
+
+  // --- Accessors -----------------------------------------------------------------
+  EventQueue& events() { return events_; }
+  size_t host_count() const { return hosts_.size(); }
+  FaasRuntime& host(size_t h) { return *hosts_[h]; }
+  const FaasRuntime& host(size_t h) const { return *hosts_[h]; }
+  ClusterScheduler& scheduler() { return *scheduler_; }
+  size_t function_count() const { return functions_.size(); }
+  const std::vector<Replica>& replicas(int cluster_fn) const {
+    return functions_[static_cast<size_t>(cluster_fn)];
+  }
+
+  // Invocations routed to host h so far.
+  uint64_t routed_to(size_t h) const { return routed_[h]; }
+  // Invocations rejected because their function has no replica anywhere.
+  uint64_t unplaced_invocations() const { return unplaced_; }
+  // Order-sensitive FNV-1a digest of every routing decision; equal hashes
+  // across runs mean identical placement streams (determinism tests).
+  uint64_t routing_hash() const { return routing_hash_; }
+
+  // --- Fleet metrics ---------------------------------------------------------------
+  // Pointwise sum of per-host committed-memory series.
+  StepSeries FleetCommittedSeries() const;
+  // Fleet rollup over [0, horizon] (latency percentiles merge every
+  // replica's recorder; totals sum across hosts).
+  FleetSummary Summarize(TimeNs horizon) const;
+
+ private:
+  void Dispatch(int cluster_fn);
+
+  ClusterConfig config_;
+  EventQueue events_;
+  std::vector<std::unique_ptr<FaasRuntime>> hosts_;
+  std::unique_ptr<ClusterScheduler> scheduler_;
+  std::vector<std::vector<Replica>> functions_;
+  std::vector<uint64_t> routed_;
+  uint64_t unplaced_ = 0;
+  uint64_t routing_hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_CLUSTER_CLUSTER_H_

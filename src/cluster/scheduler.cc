@@ -1,0 +1,141 @@
+#include "src/cluster/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace squeezy {
+
+const char* PlacementPolicyName(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kRoundRobin:
+      return "RoundRobin";
+    case PlacementPolicy::kLeastCommitted:
+      return "LeastCommitted";
+    case PlacementPolicy::kMemoryAwareBinPack:
+      return "MemBinPack";
+  }
+  return "?";
+}
+
+ClusterScheduler::ClusterScheduler(PlacementPolicy policy, std::vector<FaasRuntime*> hosts)
+    : policy_(policy), hosts_(std::move(hosts)) {
+  assert(!hosts_.empty());
+}
+
+std::vector<size_t> ClusterScheduler::PlaceFunction(uint64_t boot_commit,
+                                                    uint64_t plug_unit,
+                                                    size_t replicas) {
+  replicas = std::min(std::max<size_t>(replicas, 1), hosts_.size());
+  // Hard admission: only hosts that can commit the VM's boot footprint are
+  // candidates.  Fewer candidates than requested replicas degrades the
+  // replica count; zero candidates means the function is unplaceable (the
+  // cluster then rejects its invocations instead of crashing a host).
+  std::vector<size_t> order;
+  for (size_t h = 0; h < hosts_.size(); ++h) {
+    if (hosts_[h]->host().available() >= boot_commit) {
+      order.push_back(h);
+    }
+  }
+  if (order.empty()) {
+    return order;
+  }
+
+  switch (policy_) {
+    case PlacementPolicy::kRoundRobin:
+      // Next `replicas` candidates cyclically from the registration cursor.
+      std::rotate(order.begin(),
+                  order.begin() + static_cast<long>(place_cursor_ % order.size()),
+                  order.end());
+      place_cursor_ += replicas;
+      break;
+    case PlacementPolicy::kLeastCommitted:
+      std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+        return hosts_[a]->committed() < hosts_[b]->committed();
+      });
+      break;
+    case PlacementPolicy::kMemoryAwareBinPack: {
+      // Most committed host that still fits boot + one instance, so VM
+      // bases pack tightly and whole hosts stay free; boot-only hosts sort
+      // last (most available first, to degrade gracefully).
+      const uint64_t need = boot_commit + plug_unit;
+      auto fits = [&](size_t h) { return hosts_[h]->host().available() >= need; };
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const bool fa = fits(a);
+        const bool fb = fits(b);
+        if (fa != fb) {
+          return fa;
+        }
+        if (fa) {
+          return hosts_[a]->committed() > hosts_[b]->committed();
+        }
+        return hosts_[a]->committed() < hosts_[b]->committed();
+      });
+      break;
+    }
+  }
+  if (order.size() > replicas) {
+    order.resize(replicas);
+  }
+  return order;
+}
+
+size_t ClusterScheduler::LeastCommittedOf(const std::vector<Replica>& replicas,
+                                          int cluster_fn) {
+  uint64_t min_committed = hosts_[replicas[0].host]->committed();
+  for (size_t i = 1; i < replicas.size(); ++i) {
+    min_committed = std::min(min_committed, hosts_[replicas[i].host]->committed());
+  }
+  // Exact ties are common (hosts idle at their boot commitment); breaking
+  // them toward a fixed host would make the policy de facto sticky, so
+  // tied hosts are rotated per function instead (still deterministic).
+  std::vector<size_t> tied;
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    if (hosts_[replicas[i].host]->committed() == min_committed) {
+      tied.push_back(i);
+    }
+  }
+  if (route_cursor_.size() <= static_cast<size_t>(cluster_fn)) {
+    route_cursor_.resize(static_cast<size_t>(cluster_fn) + 1, 0);
+  }
+  return tied[route_cursor_[static_cast<size_t>(cluster_fn)]++ % tied.size()];
+}
+
+const Replica& ClusterScheduler::Route(int cluster_fn,
+                                       const std::vector<Replica>& replicas) {
+  assert(!replicas.empty());
+  ++decisions_;
+  if (route_cursor_.size() <= static_cast<size_t>(cluster_fn)) {
+    route_cursor_.resize(static_cast<size_t>(cluster_fn) + 1, 0);
+  }
+  switch (policy_) {
+    case PlacementPolicy::kRoundRobin:
+      return replicas[route_cursor_[static_cast<size_t>(cluster_fn)]++ %
+                      replicas.size()];
+    case PlacementPolicy::kLeastCommitted:
+      return replicas[LeastCommittedOf(replicas, cluster_fn)];
+    case PlacementPolicy::kMemoryAwareBinPack: {
+      // Most committed replica that can admit without waiting on
+      // reclamation; when none can, fall back to the least committed one
+      // (its reclamation backlog is the smallest, so it unblocks first).
+      int best = -1;
+      for (size_t i = 0; i < replicas.size(); ++i) {
+        const Replica& r = replicas[i];
+        if (!hosts_[r.host]->CanAdmit(r.local_fn)) {
+          continue;
+        }
+        if (best < 0 || hosts_[r.host]->committed() >
+                            hosts_[replicas[static_cast<size_t>(best)].host]->committed()) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) {
+        return replicas[LeastCommittedOf(replicas, cluster_fn)];
+      }
+      return replicas[static_cast<size_t>(best)];
+    }
+  }
+  return replicas[0];
+}
+
+}  // namespace squeezy

@@ -1,0 +1,89 @@
+// Cluster-level placement policies (tentpole of the multi-host layer).
+//
+// Two decisions are routed through the scheduler:
+//   * registration placement — which hosts get a replica VM when a
+//     function is registered (Cluster::AddFunction);
+//   * invocation routing — which replica serves an arriving request,
+//     decided at arrival time against live host state.
+//
+// Policies:
+//   kRoundRobin        — classic load spreading, memory-blind.
+//   kLeastCommitted    — route to the replica whose host has the least
+//                        committed memory (balances the admission book).
+//   kMemoryAwareBinPack— first-fit-decreasing flavor: among replicas that
+//                        can admit one more instance *right now* (warm
+//                        instance, reusable plugged memory, or free
+//                        commitment headroom), pick the MOST committed
+//                        host.  Packing onto busy-but-admitting hosts
+//                        keeps the tail of the fleet unloaded for spikes.
+//                        The policy leans directly on reclamation speed:
+//                        the faster unplug returns committed memory
+//                        (Squeezy vs vanilla virtio-mem), the fresher the
+//                        packing signal and the higher the achievable
+//                        density — which is how rapid reclamation becomes
+//                        a fleet-level capacity lever.
+//
+// Every decision is a deterministic function of (policy, host state,
+// per-function round-robin cursor); ties break toward the lowest host
+// index so cluster runs are bit-reproducible for a given seed.
+#ifndef SQUEEZY_CLUSTER_SCHEDULER_H_
+#define SQUEEZY_CLUSTER_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/faas/runtime.h"
+
+namespace squeezy {
+
+enum class PlacementPolicy : uint8_t {
+  kRoundRobin,
+  kLeastCommitted,
+  kMemoryAwareBinPack,
+};
+
+const char* PlacementPolicyName(PlacementPolicy p);
+
+// One replica of a cluster function: the VM registered on hosts[host] as
+// local function index local_fn.
+struct Replica {
+  size_t host = 0;
+  int local_fn = -1;
+};
+
+class ClusterScheduler {
+ public:
+  // `hosts` must outlive the scheduler.
+  ClusterScheduler(PlacementPolicy policy, std::vector<FaasRuntime*> hosts);
+
+  // Registration: picks up to `replicas` distinct hosts for a function
+  // whose VM commits `boot_commit` bytes at boot and `plug_unit` bytes per
+  // instance.  Hosts that cannot commit the boot footprint are never
+  // chosen; the result may have fewer entries than requested (or be empty
+  // when no host fits — the caller rejects the function's invocations).
+  std::vector<size_t> PlaceFunction(uint64_t boot_commit, uint64_t plug_unit,
+                                    size_t replicas);
+
+  // Routing: picks the serving replica for one invocation of cluster
+  // function `cluster_fn` arriving now.  `replicas` is non-empty.
+  const Replica& Route(int cluster_fn, const std::vector<Replica>& replicas);
+
+  PlacementPolicy policy() const { return policy_; }
+  uint64_t decisions() const { return decisions_; }
+
+ private:
+  // Index into `replicas` of the least-committed host; exact ties rotate
+  // per function (see .cc) to avoid sticky-host herding.
+  size_t LeastCommittedOf(const std::vector<Replica>& replicas, int cluster_fn);
+
+  PlacementPolicy policy_;
+  std::vector<FaasRuntime*> hosts_;
+  size_t place_cursor_ = 0;            // Registration round-robin.
+  std::vector<size_t> route_cursor_;   // Per-function routing round-robin.
+  uint64_t decisions_ = 0;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_CLUSTER_SCHEDULER_H_

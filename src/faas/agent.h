@@ -100,6 +100,7 @@ class Agent {
   // --- Metrics --------------------------------------------------------------------
   const std::vector<RequestRecord>& requests() const { return records_; }
   LatencyRecorder& latencies() { return latencies_; }
+  const LatencyRecorder& latencies() const { return latencies_; }
   const std::vector<ColdStartBreakdown>& cold_starts() const { return cold_starts_; }
   const StepSeries& instance_series() const { return instance_series_; }
   uint64_t total_evictions() const { return evictions_; }

@@ -5,6 +5,20 @@
 #include <cmath>
 
 namespace squeezy {
+namespace {
+
+// Flat (non-Squeezy) hot-pluggable region: N instances + dependency page
+// cache + harvest slack.  Shared by AddFunction's device sizing and
+// BootCommitment's static-policy book so the two can never diverge.
+uint64_t FlatHotplugRegion(const RuntimeConfig& config, uint64_t plug_unit,
+                           uint64_t deps_region, uint32_t max_concurrency) {
+  const uint64_t slack = config.policy == ReclaimPolicy::kHarvestOpts
+                             ? config.harvest_buffer_units * plug_unit
+                             : 0;
+  return static_cast<uint64_t>(max_concurrency) * plug_unit + deps_region + slack;
+}
+
+}  // namespace
 
 const char* ReclaimPolicyName(ReclaimPolicy p) {
   switch (p) {
@@ -21,11 +35,31 @@ const char* ReclaimPolicyName(ReclaimPolicy p) {
 }
 
 FaasRuntime::FaasRuntime(const RuntimeConfig& config)
-    : config_(config), cost_(config.cost), cpu_(Sec(1)), host_(config.host_capacity) {
+    : FaasRuntime(config, nullptr) {}
+
+FaasRuntime::FaasRuntime(const RuntimeConfig& config, EventQueue* events)
+    : config_(config),
+      cost_(config.cost),
+      owned_events_(events ? nullptr : std::make_unique<EventQueue>()),
+      events_(events ? events : owned_events_.get()),
+      cpu_(Sec(1)),
+      host_(config.host_capacity) {
   hv_ = std::make_unique<Hypervisor>(&host_, &cost_, &cpu_);
 }
 
 FaasRuntime::~FaasRuntime() = default;
+
+uint64_t FaasRuntime::BootCommitment(const RuntimeConfig& config, const FunctionSpec& spec,
+                                     uint32_t max_concurrency) {
+  const uint64_t plug_unit = BytesToBlocks(spec.memory_limit) * kMemoryBlockBytes;
+  const uint64_t deps_region = BytesToBlocks(spec.file_deps_bytes) * kMemoryBlockBytes;
+  if (config.policy == ReclaimPolicy::kStatic) {
+    // Over-provisioned: the whole hotplug region is committed up front.
+    return config.vm_base_memory +
+           FlatHotplugRegion(config, plug_unit, deps_region, max_concurrency);
+  }
+  return config.vm_base_memory + deps_region;
+}
 
 int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency) {
   const int fn = static_cast<int>(vms_.size());
@@ -54,11 +88,8 @@ int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency)
   } else {
     // Vanilla/harvest/static: one flat hot-pluggable movable region sized
     // for N instances + dependency page cache (+ harvest slack).
-    const uint64_t slack = config_.policy == ReclaimPolicy::kHarvestOpts
-                               ? config_.harvest_buffer_units * bundle->plug_unit
-                               : 0;
     gcfg.hotplug_region =
-        static_cast<uint64_t>(max_concurrency) * bundle->plug_unit + deps_region + slack;
+        FlatHotplugRegion(config_, bundle->plug_unit, deps_region, max_concurrency);
   }
 
   bundle->guest = std::make_unique<GuestKernel>(gcfg, hv_.get(), &cpu_);
@@ -69,11 +100,10 @@ int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency)
 
   // Host commitment at boot: base RAM plus the boot-time plug (shared
   // partition / dependency cache region).
-  uint64_t boot_commit = gcfg.base_memory + deps_region;
+  const uint64_t boot_commit = BootCommitment(config_, spec, max_concurrency);
   if (config_.policy == ReclaimPolicy::kStatic) {
     // Over-provisioned: everything plugged and committed up front, and the
     // host backing is warm (long-running VM).
-    boot_commit = gcfg.base_memory + gcfg.hotplug_region;
     const PlugOutcome all = bundle->guest->PlugMemory(gcfg.hotplug_region, 0);
     assert(all.complete);
     if (config_.warm_static_backing) {
@@ -97,7 +127,7 @@ int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency)
     AcquireMemory(fn, std::move(ready));
   };
   callbacks.release_memory = [this, fn] { ReleaseInstanceMemory(fn); };
-  bundle->agent = std::make_unique<Agent>(&events_, bundle->guest.get(), bundle->sqz.get(),
+  bundle->agent = std::make_unique<Agent>(events_, bundle->guest.get(), bundle->sqz.get(),
                                           spec, acfg, std::move(callbacks),
                                           gcfg.seed ^ 0x5eedULL);
   vms_.push_back(std::move(bundle));
@@ -108,7 +138,7 @@ void FaasRuntime::SubmitTrace(const std::vector<Invocation>& trace) {
   for (const Invocation& inv : trace) {
     const int fn = inv.function;
     assert(fn >= 0 && static_cast<size_t>(fn) < vms_.size());
-    events_.ScheduleAt(inv.at, [this, fn] { agent(fn).Submit(); });
+    events_->ScheduleAt(inv.at, [this, fn] { agent(fn).Submit(); });
   }
 }
 
@@ -126,7 +156,7 @@ void FaasRuntime::AcquireMemory(int fn, std::function<void(DurationNs)> ready) {
         // Serve from the pre-plugged slack buffer: near-instant, the whole
         // point of the HarvestVM buffering optimization.
         --b.buffer_units;
-        events_.ScheduleAfter(Msec(1), [ready = std::move(ready)] { ready(Msec(1)); });
+        events_->ScheduleAfter(Msec(1), [ready = std::move(ready)] { ready(Msec(1)); });
         return;
       }
       [[fallthrough]];
@@ -136,7 +166,7 @@ void FaasRuntime::AcquireMemory(int fn, std::function<void(DurationNs)> ready) {
         // An unplug for this VM is queued but not started: absorb it and
         // reuse its (still plugged, still committed) memory directly.
         ++b.cancelled_unplugs;
-        events_.ScheduleAfter(Msec(1), [ready = std::move(ready)] { ready(Msec(1)); });
+        events_->ScheduleAfter(Msec(1), [ready = std::move(ready)] { ready(Msec(1)); });
         return;
       }
       // Memory left behind by timed-out/partial unplugs is still plugged
@@ -145,20 +175,21 @@ void FaasRuntime::AcquireMemory(int fn, std::function<void(DurationNs)> ready) {
       const uint64_t need = b.plug_unit - from_spare;
       if (need == 0) {
         b.spare_plugged -= b.plug_unit;
-        events_.ScheduleAfter(Msec(1), [ready = std::move(ready)] { ready(Msec(1)); });
+        events_->ScheduleAfter(Msec(1), [ready = std::move(ready)] { ready(Msec(1)); });
         return;
       }
-      if (host_.TryReserve(need, events_.now())) {
+      if (host_.TryReserve(need, events_->now())) {
         b.spare_plugged -= from_spare;
         PlugAndGrant(fn, need, std::move(ready));
         return;
       }
       // Memory-starved: wait for scale-downs to release memory (§6.2.2).
+      ++pending_total_;
       pending_.push_back(PendingScaleUp{fn, std::move(ready)});
       MakeRoom(b.plug_unit * (config_.policy == ReclaimPolicy::kHarvestOpts ? 2 : 1));
       if (!tick_armed_) {
         tick_armed_ = true;
-        events_.ScheduleAfter(config_.pressure_check_period, [this] { PressureTick(); });
+        events_->ScheduleAfter(config_.pressure_check_period, [this] { PressureTick(); });
       }
       return;
     }
@@ -167,9 +198,9 @@ void FaasRuntime::AcquireMemory(int fn, std::function<void(DurationNs)> ready) {
 
 void FaasRuntime::PlugAndGrant(int fn, uint64_t bytes, std::function<void(DurationNs)> ready) {
   VmBundle& b = vm(fn);
-  const PlugOutcome out = b.guest->PlugMemory(bytes, events_.now());
+  const PlugOutcome out = b.guest->PlugMemory(bytes, events_->now());
   assert(out.complete && "device region must be sized for max concurrency");
-  events_.ScheduleAfter(out.latency,
+  events_->ScheduleAfter(out.latency,
                         [ready = std::move(ready), lat = out.latency] { ready(lat); });
 }
 
@@ -199,9 +230,9 @@ void FaasRuntime::StartUnplug(int fn) {
   VmBundle& b = vm(fn);
   // One virtio-mem worker per VM: requests issued while a previous unplug
   // is still migrating/offlining queue up behind it.
-  if (events_.now() < b.unplug_busy_until) {
+  if (events_->now() < b.unplug_busy_until) {
     ++b.queued_unplugs;
-    events_.ScheduleAt(b.unplug_busy_until, [this, fn] {
+    events_->ScheduleAt(b.unplug_busy_until, [this, fn] {
       VmBundle& vb = vm(fn);
       --vb.queued_unplugs;
       if (vb.cancelled_unplugs > 0) {
@@ -212,7 +243,7 @@ void FaasRuntime::StartUnplug(int fn) {
     });
     return;
   }
-  const UnplugOutcome out = b.guest->UnplugMemory(b.plug_unit, events_.now());
+  const UnplugOutcome out = b.guest->UnplugMemory(b.plug_unit, events_->now());
   if (!out.complete) {
     ++unplug_incomplete_;
     if (config_.policy != ReclaimPolicy::kSqueezy) {
@@ -224,14 +255,14 @@ void FaasRuntime::StartUnplug(int fn) {
     // already re-assigned through the waitqueue (reuse-without-replug):
     // there is nothing left to reclaim and nothing left over.
   }
-  b.unplug_busy_until = events_.now() + out.latency();
+  b.unplug_busy_until = events_->now() + out.latency();
   // The virtio-mem worker's guest-side CPU time (migrations, zeroing)
   // competes with running instances (Fig 9).
   b.agent->AddKernelInterference(out.breakdown.total() - out.breakdown.vm_exits);
   const uint64_t released = out.bytes_unplugged;
-  events_.ScheduleAfter(out.latency(), [this, released] {
+  events_->ScheduleAfter(out.latency(), [this, released] {
     if (released > 0) {
-      host_.ReleaseReservation(released, events_.now());
+      host_.ReleaseReservation(released, events_->now());
     }
     TryServePending();
   });
@@ -240,7 +271,7 @@ void FaasRuntime::StartUnplug(int fn) {
 void FaasRuntime::TryServePending() {
   for (auto it = pending_.begin(); it != pending_.end();) {
     VmBundle& b = vm(it->fn);
-    if (host_.TryReserve(b.plug_unit, events_.now())) {
+    if (host_.TryReserve(b.plug_unit, events_->now())) {
       std::function<void(DurationNs)> ready = std::move(it->ready);
       const int fn = it->fn;
       it = pending_.erase(it);
@@ -262,7 +293,7 @@ uint64_t FaasRuntime::MakeRoom(uint64_t needed) {
     TimeNs best_since = 0;
     for (size_t i = 0; i < vms_.size(); ++i) {
       const TimeNs since = vms_[i]->agent->OldestIdleSince();
-      if (since >= 0 && since + Sec(2) <= events_.now() &&
+      if (since >= 0 && since + Sec(2) <= events_->now() &&
           (best < 0 || since < best_since)) {
         best = static_cast<int>(i);
         best_since = since;
@@ -309,8 +340,33 @@ void FaasRuntime::PressureTick() {
   }
   if (!pending_.empty()) {
     tick_armed_ = true;
-    events_.ScheduleAfter(config_.pressure_check_period, [this] { PressureTick(); });
+    events_->ScheduleAfter(config_.pressure_check_period, [this] { PressureTick(); });
   }
+}
+
+bool FaasRuntime::CanAdmit(int fn) const {
+  const VmBundle& b = *vms_[static_cast<size_t>(fn)];
+  if (b.agent->idle_instances() > 0) {
+    return true;  // Warm reuse: no new memory needed.
+  }
+  if (b.agent->live_instances() >= b.max_concurrency) {
+    return false;  // The N:1 VM is saturated; the request would queue.
+  }
+  if (config_.policy == ReclaimPolicy::kStatic) {
+    return true;  // Everything is pre-plugged.
+  }
+  // Plugged-but-uncommitted-elsewhere memory this VM can reuse instantly.
+  uint64_t reusable = b.spare_plugged;
+  if (b.queued_unplugs > b.cancelled_unplugs) {
+    reusable += b.plug_unit;
+  }
+  if (config_.policy == ReclaimPolicy::kHarvestOpts) {
+    reusable += static_cast<uint64_t>(b.buffer_units) * b.plug_unit;
+  }
+  if (reusable >= b.plug_unit) {
+    return true;
+  }
+  return host_.available() >= b.plug_unit - std::min(reusable, b.plug_unit);
 }
 
 double FaasRuntime::ReclaimThroughputMiBps(int fn) const {

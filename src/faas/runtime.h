@@ -70,27 +70,40 @@ struct RuntimeConfig {
 
 class FaasRuntime {
  public:
+  // Standalone runtime: owns its own event queue.
   explicit FaasRuntime(const RuntimeConfig& config);
+  // Cluster member: shares `events` with sibling hosts so one virtual
+  // clock orders the whole fleet (src/cluster/).  `events` must outlive
+  // the runtime.
+  FaasRuntime(const RuntimeConfig& config, EventQueue* events);
   ~FaasRuntime();
 
   // Registers one N:1 VM hosting `spec` with concurrency factor N.
   // Returns the function index used by SubmitTrace.
   int AddFunction(const FunctionSpec& spec, uint32_t max_concurrency);
 
+  // Host memory AddFunction would commit at boot for this VM (base RAM
+  // plus the boot-time plug).  Cluster placement admission-checks a host
+  // against this before registering a replica there.
+  static uint64_t BootCommitment(const RuntimeConfig& config, const FunctionSpec& spec,
+                                 uint32_t max_concurrency);
+
   // Schedules every invocation of the merged trace (Invocation::function
   // indexes functions in AddFunction order).
   void SubmitTrace(const std::vector<Invocation>& trace);
 
-  void RunUntil(TimeNs t) { events_.RunUntil(t); }
-  void RunAll() { events_.RunAll(); }
+  void RunUntil(TimeNs t) { events_->RunUntil(t); }
+  void RunAll() { events_->RunAll(); }
 
   // --- Accessors -----------------------------------------------------------------
-  EventQueue& events() { return events_; }
+  EventQueue& events() { return *events_; }
   HostMemory& host() { return host_; }
+  const HostMemory& host() const { return host_; }
   Hypervisor& hypervisor() { return *hv_; }
   CpuAccountant& cpu() { return cpu_; }
   size_t function_count() const { return vms_.size(); }
   Agent& agent(int fn) { return *vms_[static_cast<size_t>(fn)]->agent; }
+  const Agent& agent(int fn) const { return *vms_[static_cast<size_t>(fn)]->agent; }
   GuestKernel& guest(int fn) { return *vms_[static_cast<size_t>(fn)]->guest; }
   SqueezyManager* squeezy(int fn) { return vms_[static_cast<size_t>(fn)]->sqz.get(); }
   const FunctionSpec& spec(int fn) const { return vms_[static_cast<size_t>(fn)]->spec; }
@@ -101,7 +114,21 @@ class FaasRuntime {
   double ReclaimThroughputMiBps(int fn) const;
   // Pending (memory-starved) scale-up requests right now.
   size_t pending_scaleups() const { return pending_.size(); }
+  // Scale-ups that ever had to wait for memory (cumulative; the fleet-level
+  // starvation signal aggregated by src/metrics/fleet.*).
+  uint64_t total_pending_scaleups() const { return pending_total_; }
   uint64_t total_unplug_failures() const { return unplug_incomplete_; }
+
+  // --- Cluster introspection hooks -------------------------------------------------
+  // Memory signals a cluster scheduler places against (committed is the
+  // admission-control book, so it is the bin-packing quantity).
+  uint64_t committed() const { return host_.committed(); }
+  uint64_t host_capacity() const { return host_.capacity(); }
+  // Whether one more invocation of fn can start without waiting on
+  // reclamation: a warm instance is free, reusable plugged memory exists
+  // (queued-unplug cancellation / spare from partial unplugs / harvest
+  // slack), or the host can commit a fresh plug unit right now.
+  bool CanAdmit(int fn) const;
 
  private:
   struct VmBundle {
@@ -152,12 +179,14 @@ class FaasRuntime {
 
   RuntimeConfig config_;
   CostModel cost_;
-  EventQueue events_;
+  std::unique_ptr<EventQueue> owned_events_;  // Null when the queue is injected.
+  EventQueue* events_;
   CpuAccountant cpu_;
   HostMemory host_;
   std::unique_ptr<Hypervisor> hv_;
   std::vector<std::unique_ptr<VmBundle>> vms_;
   std::deque<PendingScaleUp> pending_;
+  uint64_t pending_total_ = 0;
   uint64_t unplug_incomplete_ = 0;
   bool tick_armed_ = false;
 };

@@ -1,0 +1,39 @@
+#include "src/metrics/fleet.h"
+
+#include <algorithm>
+
+namespace squeezy {
+
+LatencyRecorder MergeLatencies(const std::vector<const LatencyRecorder*>& parts) {
+  LatencyRecorder merged;
+  for (const LatencyRecorder* part : parts) {
+    for (const DurationNs sample : part->samples()) {
+      merged.Record(sample);
+    }
+  }
+  return merged;
+}
+
+StepSeries SumSeries(const std::vector<const StepSeries*>& parts) {
+  // Every input timestamp is a step point of the sum.
+  std::vector<TimeNs> stamps;
+  for (const StepSeries* part : parts) {
+    for (const StepSeries::Point& p : part->points()) {
+      stamps.push_back(p.t);
+    }
+  }
+  std::sort(stamps.begin(), stamps.end());
+  stamps.erase(std::unique(stamps.begin(), stamps.end()), stamps.end());
+
+  StepSeries sum;
+  for (const TimeNs t : stamps) {
+    double v = 0.0;
+    for (const StepSeries* part : parts) {
+      v += part->At(t);
+    }
+    sum.Push(t, v);
+  }
+  return sum;
+}
+
+}  // namespace squeezy

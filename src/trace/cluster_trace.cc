@@ -1,0 +1,49 @@
+#include "src/trace/cluster_trace.h"
+
+#include <cmath>
+
+namespace squeezy {
+
+std::vector<double> ClusterZipfWeights(const ClusterTraceConfig& config) {
+  std::vector<double> w(static_cast<size_t>(config.nr_functions));
+  double sum = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), -config.zipf_s);
+    sum += w[i];
+  }
+  for (double& x : w) {
+    x /= sum;
+  }
+  return w;
+}
+
+std::vector<Invocation> GenerateClusterTrace(const ClusterTraceConfig& config,
+                                             uint64_t seed) {
+  const std::vector<double> weights = ClusterZipfWeights(config);
+  const int32_t bursty_count = static_cast<int32_t>(std::ceil(
+      config.bursty_fraction * static_cast<double>(config.nr_functions)));
+
+  std::vector<std::vector<Invocation>> streams;
+  streams.reserve(weights.size());
+  for (int32_t fn = 0; fn < config.nr_functions; ++fn) {
+    BurstyTraceConfig bcfg;
+    bcfg.duration = config.duration;
+    bcfg.function = fn;
+    bcfg.base_rate_per_sec =
+        config.total_base_rate_per_sec * weights[static_cast<size_t>(fn)];
+    if (fn < bursty_count) {
+      bcfg.burst_rate_per_sec = bcfg.base_rate_per_sec * config.burst_multiplier;
+      bcfg.mean_burst_len = config.mean_burst_len;
+      bcfg.mean_gap = config.mean_gap;
+    } else {
+      // Cold tail: no flash crowds, just the Poisson drizzle.
+      bcfg.burst_rate_per_sec = bcfg.base_rate_per_sec;
+      bcfg.mean_burst_len = Sec(1);
+      bcfg.mean_gap = Minutes(60);
+    }
+    streams.push_back(GenerateBurstyTrace(bcfg, seed));
+  }
+  return MergeTraces(std::move(streams));
+}
+
+}  // namespace squeezy

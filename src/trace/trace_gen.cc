@@ -4,6 +4,23 @@
 
 namespace squeezy {
 
+uint64_t TraceStreamSeed(uint64_t base_seed, int32_t function) {
+  // SplitMix64 finalizer over base_seed xor a per-function offset (see the
+  // header for why this must not depend on generation order).
+  uint64_t z = base_seed ^ (0x9e3779b97f4a7c15ULL *
+                            (static_cast<uint64_t>(function) + 1));
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<Invocation> GenerateBurstyTrace(const BurstyTraceConfig& config,
+                                            uint64_t base_seed) {
+  Rng rng(TraceStreamSeed(base_seed, config.function));
+  return GenerateBurstyTrace(config, rng);
+}
+
 std::vector<Invocation> GenerateBurstyTrace(const BurstyTraceConfig& config, Rng& rng) {
   std::vector<Invocation> out;
   TimeNs t = 0;

@@ -30,7 +30,28 @@ struct BurstyTraceConfig {
   int32_t function = 0;
 };
 
-// One function's bursty arrival stream, sorted by time.
+// --- Seeding scheme ---------------------------------------------------------
+// Per-function trace streams are seeded as
+//
+//     stream_seed = splitmix64(base_seed ^ kGolden * (function + 1))
+//
+// where base_seed is RuntimeConfig::seed and kGolden is the SplitMix64
+// increment (0x9e3779b97f4a7c15).  Each stream owns a private Rng, so a
+// function's trace is bit-identical for a given (seed, function) pair no
+// matter how many other functions or hosts drew randomness before it was
+// generated.  That is what makes cluster traces reproducible: host count
+// and generation order cannot perturb any stream.  The legacy shared-Rng
+// overload below does NOT have this property (stream i depends on how much
+// randomness streams 0..i-1 consumed); new code should pass a seed.
+uint64_t TraceStreamSeed(uint64_t base_seed, int32_t function);
+
+// One function's bursty arrival stream, sorted by time, from a private
+// Rng(TraceStreamSeed(base_seed, config.function)).
+std::vector<Invocation> GenerateBurstyTrace(const BurstyTraceConfig& config,
+                                            uint64_t base_seed);
+
+// Legacy shared-Rng variant (single-function experiments; order-dependent
+// when one Rng feeds several streams).
 std::vector<Invocation> GenerateBurstyTrace(const BurstyTraceConfig& config, Rng& rng);
 
 // Merges per-function streams into one sorted stream.

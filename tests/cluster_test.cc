@@ -1,0 +1,189 @@
+// Cluster subsystem tests: shared-clock wiring, placement determinism,
+// host-memory conservation, and memory-aware routing beating memory-blind
+// routing under skewed load.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/faas/function.h"
+#include "src/trace/cluster_trace.h"
+
+namespace squeezy {
+namespace {
+
+FunctionSpec TinySpec(const char* name) {
+  FunctionSpec s;
+  s.name = name;
+  s.vcpu_shares = 1.0;
+  s.memory_limit = MiB(256);
+  s.anon_working_set = MiB(96);
+  s.file_deps_bytes = MiB(64);
+  s.container_init_cpu = Msec(80);
+  s.function_init_cpu = Msec(120);
+  s.exec_cpu_mean = Msec(100);
+  s.exec_cv = 0.0;
+  return s;
+}
+
+ClusterConfig BaseConfig(size_t hosts, PlacementPolicy placement, uint64_t capacity) {
+  ClusterConfig cfg;
+  cfg.nr_hosts = hosts;
+  cfg.placement = placement;
+  cfg.host.policy = ReclaimPolicy::kSqueezy;
+  cfg.host.host_capacity = capacity;
+  cfg.host.vm_base_memory = MiB(128);
+  cfg.host.keep_alive = Sec(30);
+  cfg.host.seed = 42;
+  return cfg;
+}
+
+ClusterTraceConfig SkewedTrace() {
+  ClusterTraceConfig t;
+  t.duration = Minutes(6);
+  t.nr_functions = 4;
+  t.total_base_rate_per_sec = 2.0;
+  t.zipf_s = 1.2;
+  t.bursty_fraction = 0.5;
+  t.burst_multiplier = 30.0;
+  t.mean_burst_len = Sec(20);
+  t.mean_gap = Sec(60);
+  return t;
+}
+
+TEST(ClusterTest, PlacementPolicyNames) {
+  EXPECT_STREQ(PlacementPolicyName(PlacementPolicy::kRoundRobin), "RoundRobin");
+  EXPECT_STREQ(PlacementPolicyName(PlacementPolicy::kLeastCommitted), "LeastCommitted");
+  EXPECT_STREQ(PlacementPolicyName(PlacementPolicy::kMemoryAwareBinPack), "MemBinPack");
+}
+
+TEST(ClusterTest, HostsShareOneVirtualClock) {
+  Cluster cluster(BaseConfig(4, PlacementPolicy::kRoundRobin, GiB(8)));
+  for (size_t h = 0; h < cluster.host_count(); ++h) {
+    EXPECT_EQ(&cluster.host(h).events(), &cluster.events());
+  }
+  const int fn = cluster.AddFunction(TinySpec("clock"), 4);
+  cluster.SubmitTrace({{Sec(1), fn}, {Sec(2), fn}});
+  cluster.RunUntil(Minutes(1));
+  EXPECT_EQ(cluster.events().now(), Minutes(1));
+  uint64_t completed = 0;
+  for (const Replica& r : cluster.replicas(fn)) {
+    completed += cluster.host(r.host).agent(r.local_fn).requests().size();
+  }
+  EXPECT_EQ(completed, 2u);
+}
+
+// Required test 1: placement determinism under a fixed seed.  The whole
+// routing stream (and therefore every latency sample) must be a pure
+// function of (config, seed); a different seed must diverge.
+TEST(ClusterTest, PlacementDeterministicUnderFixedSeed) {
+  auto run = [](uint64_t seed, PlacementPolicy placement) {
+    ClusterConfig cfg = BaseConfig(4, placement, GiB(3));
+    cfg.host.seed = seed;
+    Cluster cluster(cfg);
+    ClusterTraceConfig tcfg = SkewedTrace();
+    for (int32_t f = 0; f < tcfg.nr_functions; ++f) {
+      cluster.AddFunction(TinySpec("det"), 6);
+    }
+    cluster.SubmitTrace(GenerateClusterTrace(tcfg, seed));
+    cluster.RunUntil(Minutes(8));
+    const FleetSummary s = cluster.Summarize(Minutes(8));
+    return std::make_tuple(cluster.routing_hash(), s.completed_requests,
+                           s.latency_p99, s.committed_gib_seconds);
+  };
+  for (const PlacementPolicy p :
+       {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastCommitted,
+        PlacementPolicy::kMemoryAwareBinPack}) {
+    EXPECT_EQ(run(7, p), run(7, p)) << PlacementPolicyName(p);
+    EXPECT_NE(std::get<0>(run(7, p)), std::get<0>(run(8, p))) << PlacementPolicyName(p);
+  }
+}
+
+// Required test 2: host-memory conservation across scale-up/down.  No host
+// ever exceeds its capacity, and once the fleet quiesces (all instances
+// evicted, all unplugs drained) every host's committed book returns
+// exactly to its boot-time commitment.
+TEST(ClusterTest, HostMemoryConservedAcrossScaleUpDown) {
+  ClusterConfig cfg = BaseConfig(4, PlacementPolicy::kLeastCommitted, GiB(3));
+  Cluster cluster(cfg);
+  const FunctionSpec spec = TinySpec("conserve");
+  std::vector<int> fns;
+  for (int f = 0; f < 3; ++f) {
+    fns.push_back(cluster.AddFunction(spec, 6));
+  }
+  // Boot-time commitment per host: sum over the replicas placed there.
+  std::vector<uint64_t> boot(cluster.host_count(), 0);
+  for (const int fn : fns) {
+    for (const Replica& r : cluster.replicas(fn)) {
+      boot[r.host] += FaasRuntime::BootCommitment(cfg.host, spec, 6);
+    }
+  }
+  for (size_t h = 0; h < cluster.host_count(); ++h) {
+    EXPECT_EQ(cluster.host(h).committed(), boot[h]) << "host " << h;
+  }
+
+  ClusterTraceConfig tcfg = SkewedTrace();
+  tcfg.nr_functions = static_cast<int32_t>(fns.size());
+  cluster.SubmitTrace(GenerateClusterTrace(tcfg, 42));
+  cluster.RunAll();  // Drain: every keep-alive expiry and unplug completes.
+
+  for (size_t h = 0; h < cluster.host_count(); ++h) {
+    const FaasRuntime& host = cluster.host(h);
+    // Commitment never exceeded capacity at any point in the run.
+    EXPECT_LE(host.host().committed_series().Max(),
+              static_cast<double>(host.host_capacity()))
+        << "host " << h;
+    // Populated never exceeds committed at quiescence; commitments from
+    // every scale-up were matched by scale-down releases.
+    EXPECT_EQ(host.committed(), boot[h]) << "host " << h;
+    EXPECT_LE(host.host().populated(), host.committed()) << "host " << h;
+    for (size_t fn = 0; fn < host.function_count(); ++fn) {
+      EXPECT_EQ(host.agent(static_cast<int>(fn)).live_instances(), 0u);
+    }
+  }
+}
+
+// Required test 3: memory-aware bin-packing beats round-robin on pending
+// (memory-starved) scale-ups under a skewed trace.  Round-robin keeps
+// routing flash crowds into hosts that are still reclaiming; the
+// bin-packer only targets hosts that can admit immediately.
+TEST(ClusterTest, BinPackBeatsRoundRobinOnPendingScaleups) {
+  auto pending_total = [](PlacementPolicy placement) {
+    // Tight fleet: each host fits boot plus only a few extra instances.
+    ClusterConfig cfg = BaseConfig(4, placement, MiB(2176));
+    Cluster cluster(cfg);
+    ClusterTraceConfig tcfg = SkewedTrace();
+    for (int32_t f = 0; f < tcfg.nr_functions; ++f) {
+      cluster.AddFunction(TinySpec("skew"), 8);
+    }
+    cluster.SubmitTrace(GenerateClusterTrace(tcfg, 42));
+    cluster.RunUntil(Minutes(8));
+    return cluster.Summarize(Minutes(8)).pending_scaleups_total;
+  };
+  const uint64_t round_robin = pending_total(PlacementPolicy::kRoundRobin);
+  const uint64_t bin_pack = pending_total(PlacementPolicy::kMemoryAwareBinPack);
+  EXPECT_LT(bin_pack, round_robin);
+}
+
+// Registration placement: the bin-packer fills busy hosts first, so with
+// one replica per function and more functions than one host can hold, it
+// still never over-commits a host at boot.
+TEST(ClusterTest, SingleReplicaPlacementRespectsCapacity) {
+  ClusterConfig cfg = BaseConfig(4, PlacementPolicy::kMemoryAwareBinPack, GiB(2));
+  cfg.replicas_per_function = 1;
+  Cluster cluster(cfg);
+  for (int f = 0; f < 8; ++f) {
+    const int fn = cluster.AddFunction(TinySpec("solo"), 4);
+    ASSERT_EQ(cluster.replicas(fn).size(), 1u);
+  }
+  size_t used_hosts = 0;
+  for (size_t h = 0; h < cluster.host_count(); ++h) {
+    EXPECT_LE(cluster.host(h).committed(), cluster.host(h).host_capacity());
+    used_hosts += cluster.host(h).function_count() > 0 ? 1 : 0;
+  }
+  // 8 VMs x 384 MiB boot do not fit one 2 GiB host: placement spilled.
+  EXPECT_GT(used_hosts, 1u);
+}
+
+}  // namespace
+}  // namespace squeezy

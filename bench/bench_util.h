@@ -2,9 +2,15 @@
 #ifndef SQUEEZY_BENCH_BENCH_UTIL_H_
 #define SQUEEZY_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace squeezy {
 
@@ -28,6 +34,97 @@ inline std::string Ratio(double r) {
   std::snprintf(buf, sizeof(buf), "%.2fx", r);
   return buf;
 }
+
+// Machine-readable bench output: headline metrics plus the result table,
+// written to bench_results/BENCH_<name>.json alongside the existing CSV so
+// the perf trajectory across PRs can be diffed/plotted by tooling instead
+// of scraped from stdout.  Degrades to a no-op on unwritable filesystems,
+// like CsvWriter.
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& bench_name) : name_(bench_name) {}
+
+  // Headline scalars ("admitted", "speedup_vs_virtio", ...).
+  void Metric(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    metrics_.emplace_back(key, buf);
+  }
+  void Metric(const std::string& key, int64_t value) {
+    metrics_.emplace_back(key, std::to_string(value));
+  }
+  void Metric(const std::string& key, uint64_t value) {
+    metrics_.emplace_back(key, std::to_string(value));
+  }
+  void Text(const std::string& key, const std::string& value) {
+    metrics_.emplace_back(key, Quote(value));
+  }
+
+  // Tabular results (mirrors the CSV: one columns list, then rows).
+  void SetColumns(std::vector<std::string> columns) { columns_ = std::move(columns); }
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  // Writes bench_results/BENCH_<name>.json; returns the path ("" on error).
+  std::string Write() const {
+    const std::string path = "bench_results/BENCH_" + name_ + ".json";
+    std::error_code ec;
+    std::filesystem::create_directories("bench_results", ec);
+    std::ofstream out(path);
+    if (!out.good()) {
+      return "";
+    }
+    out << "{\n  \"bench\": " << Quote(name_) << ",\n  \"metrics\": {";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      out << (i ? "," : "") << "\n    " << Quote(metrics_[i].first) << ": "
+          << metrics_[i].second;
+    }
+    out << "\n  },\n  \"columns\": " << CellArray(columns_) << ",\n  \"rows\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out << (i ? "," : "") << "\n    " << CellArray(rows_[i]);
+    }
+    out << "\n  ]\n}\n";
+    return out.good() ? path : "";
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string q = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        q += '\\';
+        q += c;
+      } else if (c == '\n') {
+        q += "\\n";
+      } else {
+        q += c;
+      }
+    }
+    return q + "\"";
+  }
+
+  // Cells that parse as finite numbers are emitted bare, the rest quoted.
+  static std::string CellArray(const std::vector<std::string>& cells) {
+    std::string out = "[";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i) {
+        out += ", ";
+      }
+      double v;
+      std::istringstream in(cells[i]);
+      if (in >> v && in.eof()) {
+        out += cells[i];
+      } else {
+        out += Quote(cells[i]);
+      }
+    }
+    return out + "]";
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
 
 }  // namespace squeezy
 

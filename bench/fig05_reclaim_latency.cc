@@ -146,6 +146,9 @@ int main() {
   CsvWriter csv("bench_results/fig05_reclaim_latency.csv",
                 {"size_mib", "method", "zeroing_ms", "migration_ms", "vmexits_ms", "rest_ms",
                  "total_ms"});
+  BenchJson json("fig05_reclaim_latency");
+  json.SetColumns({"size_mib", "method", "zeroing_ms", "migration_ms", "vmexits_ms",
+                   "rest_ms", "total_ms"});
 
   std::vector<double> balloon_over_virtio;
   std::vector<double> virtio_over_squeezy;
@@ -170,10 +173,12 @@ int main() {
                     TablePrinter::Num(ToMsec(b.zeroing)), TablePrinter::Num(ToMsec(b.migration)),
                     TablePrinter::Num(ToMsec(b.vm_exits)), TablePrinter::Num(ToMsec(b.rest)),
                     TablePrinter::Num(ToMsec(b.total()))});
-      csv.AddRow({std::to_string(size / MiB(1)), row.name,
-                  TablePrinter::Num(ToMsec(b.zeroing)), TablePrinter::Num(ToMsec(b.migration)),
-                  TablePrinter::Num(ToMsec(b.vm_exits)), TablePrinter::Num(ToMsec(b.rest)),
-                  TablePrinter::Num(ToMsec(b.total()))});
+      const std::vector<std::string> cells = {
+          std::to_string(size / MiB(1)), row.name, TablePrinter::Num(ToMsec(b.zeroing)),
+          TablePrinter::Num(ToMsec(b.migration)), TablePrinter::Num(ToMsec(b.vm_exits)),
+          TablePrinter::Num(ToMsec(b.rest)), TablePrinter::Num(ToMsec(b.total()))};
+      csv.AddRow(cells);
+      json.AddRow(cells);
     }
     table.AddRule();
     balloon_over_virtio.push_back(static_cast<double>(balloon.total()) /
@@ -190,5 +195,9 @@ int main() {
             << "Squeezy latency to reclaim 2 GiB:            " << FormatDuration(squeezy_2gib)
             << "  (paper: ~127 ms)\n"
             << "CSV: bench_results/fig05_reclaim_latency.csv\n";
+  json.Metric("virtio_speedup_over_balloon", Geomean(balloon_over_virtio));
+  json.Metric("squeezy_speedup_over_virtio", Geomean(virtio_over_squeezy));
+  json.Metric("squeezy_2gib_ms", ToMsec(squeezy_2gib));
+  std::cout << "JSON: " << json.Write() << "\n";
   return 0;
 }

@@ -1,6 +1,8 @@
 // Fig 12 (beyond-paper): fleet-level capacity under memory-constrained
-// multi-host operation — the 4 reclamation policies crossed with the 3
-// cluster placement policies (src/cluster/).
+// multi-host operation — the 4 reclamation drivers (src/policy/) crossed
+// with the 4 cluster placement policies (src/cluster/), including the
+// placement–reclaim co-design policy kHintedBinPack, plus a host-drain
+// scenario driven through the HostControl plane.
 //
 // Setup: K hosts, the paper's four functions replicated cluster-wide, a
 // Zipf-skewed Azure-style churn trace (src/trace/cluster_trace.*), and
@@ -61,7 +63,8 @@ struct ComboResult {
 };
 
 ComboResult RunCombo(ReclaimPolicy reclaim, PlacementPolicy placement,
-                     uint64_t host_capacity, size_t hosts, uint64_t* trace_size) {
+                     uint64_t host_capacity, size_t hosts, uint64_t* trace_size,
+                     uint64_t* hints_fired = nullptr) {
   ClusterConfig cfg;
   cfg.nr_hosts = hosts;
   cfg.placement = placement;
@@ -88,6 +91,63 @@ ComboResult RunCombo(ReclaimPolicy reclaim, PlacementPolicy placement,
   r.placement = placement;
   r.fleet = cluster.Summarize(kHorizon);
   r.admitted = trace.size() - r.fleet.unplaced_invocations;
+  if (hints_fired != nullptr) {
+    *hints_fired = cluster.scheduler().hints_fired();
+  }
+  return r;
+}
+
+// Host-drain scenario (HostControl plane): drain the most-committed host
+// mid-trace and report how long its committed book takes to return to the
+// boot-time commitment — reclamation speed IS maintenance speed.
+struct DrainResult {
+  size_t drained_host = 0;
+  uint64_t routed_before = 0;   // Routes to the host up to the drain.
+  uint64_t routed_after = 0;    // Routes to it after (should be ~0 extra).
+  double reclaim_seconds = -1;  // Drain -> committed back at boot commit.
+};
+
+DrainResult RunDrain(ReclaimPolicy reclaim, uint64_t host_capacity) {
+  ClusterConfig cfg;
+  cfg.nr_hosts = kHosts;
+  cfg.placement = PlacementPolicy::kHintedBinPack;
+  cfg.host.policy = reclaim;
+  cfg.host.host_capacity = host_capacity;
+  cfg.host.keep_alive = Sec(45);
+  cfg.host.unplug_timeout = Sec(5);
+  cfg.host.pressure_check_period = Msec(500);
+  cfg.host.seed = kSeed;
+  Cluster cluster(cfg);
+  uint64_t boot_commit = 0;
+  for (const FunctionSpec& spec : PaperFunctions()) {
+    cluster.AddFunction(spec, kConcurrency);
+    boot_commit += FaasRuntime::BootCommitment(cfg.host, spec, kConcurrency);
+  }
+  cluster.SubmitTrace(GenerateClusterTrace(TraceConfig(), kSeed));
+
+  const TimeNs drain_at = kDuration / 2;
+  cluster.RunUntil(drain_at);
+  size_t victim = 0;
+  for (size_t h = 1; h < cluster.host_count(); ++h) {
+    if (cluster.host(h).committed() > cluster.host(victim).committed()) {
+      victim = h;
+    }
+  }
+  DrainResult r;
+  r.drained_host = victim;
+  r.routed_before = cluster.routed_to(victim);
+  cluster.DrainHost(victim);
+  cluster.RunUntil(kHorizon);
+  r.routed_after = cluster.routed_to(victim) - r.routed_before;
+  // First instant after the drain where the host's committed book was back
+  // at its boot-time commitment (every replica lives on every host here).
+  for (const StepSeries::Point& p :
+       cluster.host(victim).host().committed_series().points()) {
+    if (p.t >= drain_at && static_cast<uint64_t>(p.value) <= boot_commit) {
+      r.reclaim_seconds = ToSec(p.t - drain_at);
+      break;
+    }
+  }
   return r;
 }
 
@@ -122,19 +182,28 @@ int main() {
                                     ReclaimPolicy::kHarvestOpts, ReclaimPolicy::kSqueezy};
   const PlacementPolicy placements[] = {PlacementPolicy::kRoundRobin,
                                         PlacementPolicy::kLeastCommitted,
-                                        PlacementPolicy::kMemoryAwareBinPack};
+                                        PlacementPolicy::kMemoryAwareBinPack,
+                                        PlacementPolicy::kHintedBinPack};
 
   TablePrinter table({"Reclaim", "Placement", "Admitted", "Completed", "P50(ms)",
-                      "P99(ms)", "PeakGiB", "GiB*s", "PendingUps", "UnplugFail"});
+                      "P99(ms)", "PeakGiB", "GiB*s", "PendingUps", "UnplugFail",
+                      "Hints"});
   CsvWriter csv("bench_results/fig12_cluster_scale.csv",
                 {"reclaim", "placement", "admitted", "completed", "p50_ms", "p99_ms",
-                 "peak_gib", "gib_s", "pending_scaleups", "unplug_failures"});
+                 "peak_gib", "gib_s", "pending_scaleups", "unplug_failures", "hints"});
+  BenchJson json("fig12_cluster_scale");
+  json.SetColumns({"reclaim", "placement", "admitted", "completed", "p50_ms", "p99_ms",
+                   "peak_gib", "gib_s", "pending_scaleups", "unplug_failures", "hints"});
 
   uint64_t best_other = 0;
   uint64_t squeezy_binpack_admitted = 0;
+  uint64_t squeezy_hinted_admitted = 0;
+  uint64_t squeezy_binpack_pending = 0;
+  uint64_t squeezy_hinted_pending = 0;
   for (const ReclaimPolicy rp : reclaims) {
     for (const PlacementPolicy pp : placements) {
-      const ComboResult r = RunCombo(rp, pp, cap, kHosts, nullptr);
+      uint64_t hints = 0;
+      const ComboResult r = RunCombo(rp, pp, cap, kHosts, nullptr, &hints);
       const double peak_gib = static_cast<double>(r.fleet.committed_peak) /
                               static_cast<double>(GiB(1));
       table.AddRow({ReclaimPolicyName(rp), PlacementPolicyName(pp),
@@ -145,17 +214,24 @@ int main() {
                     TablePrinter::Num(peak_gib),
                     TablePrinter::Num(r.fleet.committed_gib_seconds, 0),
                     TablePrinter::Int(static_cast<int64_t>(r.fleet.pending_scaleups_total)),
-                    TablePrinter::Int(static_cast<int64_t>(r.fleet.unplug_failures))});
-      csv.AddRow({ReclaimPolicyName(rp), PlacementPolicyName(pp),
-                  std::to_string(r.admitted), std::to_string(r.fleet.completed_requests),
-                  TablePrinter::Num(ToMsec(r.fleet.latency_p50), 1),
-                  TablePrinter::Num(ToMsec(r.fleet.latency_p99), 1),
-                  TablePrinter::Num(peak_gib),
-                  TablePrinter::Num(r.fleet.committed_gib_seconds, 1),
-                  std::to_string(r.fleet.pending_scaleups_total),
-                  std::to_string(r.fleet.unplug_failures)});
+                    TablePrinter::Int(static_cast<int64_t>(r.fleet.unplug_failures)),
+                    TablePrinter::Int(static_cast<int64_t>(hints))});
+      const std::vector<std::string> row = {
+          ReclaimPolicyName(rp), PlacementPolicyName(pp), std::to_string(r.admitted),
+          std::to_string(r.fleet.completed_requests),
+          TablePrinter::Num(ToMsec(r.fleet.latency_p50), 1),
+          TablePrinter::Num(ToMsec(r.fleet.latency_p99), 1), TablePrinter::Num(peak_gib),
+          TablePrinter::Num(r.fleet.committed_gib_seconds, 1),
+          std::to_string(r.fleet.pending_scaleups_total),
+          std::to_string(r.fleet.unplug_failures), std::to_string(hints)};
+      csv.AddRow(row);
+      json.AddRow(row);
       if (rp == ReclaimPolicy::kSqueezy && pp == PlacementPolicy::kMemoryAwareBinPack) {
         squeezy_binpack_admitted = r.admitted;
+        squeezy_binpack_pending = r.fleet.pending_scaleups_total;
+      } else if (rp == ReclaimPolicy::kSqueezy && pp == PlacementPolicy::kHintedBinPack) {
+        squeezy_hinted_admitted = r.admitted;
+        squeezy_hinted_pending = r.fleet.pending_scaleups_total;
       } else {
         best_other = std::max(best_other, r.admitted);
       }
@@ -164,26 +240,71 @@ int main() {
   }
   table.Print(std::cout);
 
+  const bool binpack_pass = squeezy_binpack_admitted >= best_other;
+  const bool hinted_pass = squeezy_hinted_admitted >= squeezy_binpack_admitted;
   std::cout << "\nCheck: Squeezy+MemBinPack admitted " << squeezy_binpack_admitted
             << " vs best other combination " << best_other << " -> "
-            << (squeezy_binpack_admitted >= best_other ? "PASS (>=)" : "FAIL") << "\n";
+            << (binpack_pass ? "PASS (>=)" : "FAIL") << "\n"
+            << "Check: Squeezy+HintedBinPack admitted " << squeezy_hinted_admitted
+            << " vs Squeezy+MemBinPack " << squeezy_binpack_admitted << " -> "
+            << (hinted_pass ? "PASS (>=)" : "FAIL") << "  (pending scale-ups "
+            << squeezy_hinted_pending << " vs " << squeezy_binpack_pending << ")\n";
+
+  // Host drain through the HostControl plane: the drained host stops
+  // receiving routes and its committed memory comes back at the driver's
+  // reclamation speed.
+  std::cout << "\nHost drain at t=4min (most-committed host, HintedBinPack):\n";
+  TablePrinter drain_table({"Reclaim", "Host", "RoutedBefore", "RoutedAfter",
+                            "ReclaimSec"});
+  for (const ReclaimPolicy rp : {ReclaimPolicy::kVirtioMem, ReclaimPolicy::kSqueezy}) {
+    const DrainResult d = RunDrain(rp, cap);
+    drain_table.AddRow({ReclaimPolicyName(rp),
+                        TablePrinter::Int(static_cast<int64_t>(d.drained_host)),
+                        TablePrinter::Int(static_cast<int64_t>(d.routed_before)),
+                        TablePrinter::Int(static_cast<int64_t>(d.routed_after)),
+                        TablePrinter::Num(d.reclaim_seconds)});
+    if (d.reclaim_seconds >= 0) {
+      json.Metric(std::string("drain_reclaim_sec_") + ReclaimPolicyName(rp),
+                  d.reclaim_seconds);
+    } else {
+      json.Text(std::string("drain_reclaim_sec_") + ReclaimPolicyName(rp),
+                "never (window ended first)");
+    }
+  }
+  drain_table.Print(std::cout);
+
+  json.Metric("trace_invocations", trace_size);
+  json.Metric("restricted_host_capacity_gib",
+              static_cast<double>(cap) / static_cast<double>(GiB(1)));
+  json.Metric("squeezy_binpack_admitted", squeezy_binpack_admitted);
+  json.Metric("squeezy_hinted_admitted", squeezy_hinted_admitted);
+  json.Metric("squeezy_binpack_pending", squeezy_binpack_pending);
+  json.Metric("squeezy_hinted_pending", squeezy_hinted_pending);
+  json.Metric("best_other_admitted", best_other);
+  json.Text("binpack_check", binpack_pass ? "PASS" : "FAIL");
+  json.Text("hinted_check", hinted_pass ? "PASS" : "FAIL");
 
   // Scale-out: does the memory-aware packer keep its edge as the fleet
   // grows?  (Same per-host capacity; the trace stays fixed, so bigger
   // fleets are progressively less constrained.)
   std::cout << "\nScale-out (Squeezy): pending scale-ups by host count\n";
-  TablePrinter scale({"Hosts", "RoundRobin", "MemBinPack"});
+  TablePrinter scale({"Hosts", "RoundRobin", "MemBinPack", "HintedBinPack"});
   for (const size_t hosts : {kHosts, 2 * kHosts, 4 * kHosts}) {
     const ComboResult rr = RunCombo(ReclaimPolicy::kSqueezy,
                                     PlacementPolicy::kRoundRobin, cap, hosts, nullptr);
     const ComboResult bp = RunCombo(ReclaimPolicy::kSqueezy,
                                     PlacementPolicy::kMemoryAwareBinPack, cap, hosts,
                                     nullptr);
+    const ComboResult hb = RunCombo(ReclaimPolicy::kSqueezy,
+                                    PlacementPolicy::kHintedBinPack, cap, hosts,
+                                    nullptr);
     scale.AddRow({TablePrinter::Int(static_cast<int64_t>(hosts)),
                   TablePrinter::Int(static_cast<int64_t>(rr.fleet.pending_scaleups_total)),
-                  TablePrinter::Int(static_cast<int64_t>(bp.fleet.pending_scaleups_total))});
+                  TablePrinter::Int(static_cast<int64_t>(bp.fleet.pending_scaleups_total)),
+                  TablePrinter::Int(static_cast<int64_t>(hb.fleet.pending_scaleups_total))});
   }
   scale.Print(std::cout);
-  std::cout << "CSV: bench_results/fig12_cluster_scale.csv\n";
-  return squeezy_binpack_admitted >= best_other ? 0 : 1;
+  const std::string json_path = json.Write();
+  std::cout << "CSV: bench_results/fig12_cluster_scale.csv\nJSON: " << json_path << "\n";
+  return binpack_pass && hinted_pass ? 0 : 1;
 }

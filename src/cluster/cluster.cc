@@ -6,7 +6,8 @@ namespace squeezy {
 
 Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   assert(config_.nr_hosts > 0);
-  std::vector<FaasRuntime*> raw;
+  // The scheduler gets the narrow control plane, not the runtimes.
+  std::vector<HostControl*> raw;
   raw.reserve(config_.nr_hosts);
   for (size_t h = 0; h < config_.nr_hosts; ++h) {
     RuntimeConfig host_cfg = config_.host;

@@ -7,10 +7,15 @@
 // (picked at arrival time against live per-host committed memory) across
 // the hosts; see src/cluster/scheduler.h for the policies.
 //
-// Layering: sim → mm/guest/hotplug → core → host/faas → cluster.  The
-// cluster layer only touches FaasRuntime's public surface (introspection
-// hooks + injected event queue), so every single-host experiment keeps
-// working unchanged.
+// Layering: sim → mm/guest/hotplug → core → host/faas(+policy) → cluster.
+// The scheduler sees hosts only through the HostControl plane
+// (src/faas/host_control.h); the Cluster additionally owns the concrete
+// FaasRuntime objects and exposes them for metrics/tests, so every
+// single-host experiment keeps working unchanged.
+//
+// Maintenance: DrainHost(h) flips host h into draining — the scheduler
+// stops routing to its replicas, its idle instances are reaped and their
+// memory unplugged per the host's reclaim driver; UndrainHost reverses.
 #ifndef SQUEEZY_CLUSTER_CLUSTER_H_
 #define SQUEEZY_CLUSTER_CLUSTER_H_
 
@@ -67,6 +72,10 @@ class Cluster {
   const std::vector<Replica>& replicas(int cluster_fn) const {
     return functions_[static_cast<size_t>(cluster_fn)];
   }
+
+  // --- Maintenance (the HostControl plane, fleet-side) -----------------------------
+  void DrainHost(size_t h) { hosts_[h]->Drain(); }
+  void UndrainHost(size_t h) { hosts_[h]->Undrain(); }
 
   // Invocations routed to host h so far.
   uint64_t routed_to(size_t h) const { return routed_[h]; }

@@ -14,11 +14,13 @@ const char* PlacementPolicyName(PlacementPolicy p) {
       return "LeastCommitted";
     case PlacementPolicy::kMemoryAwareBinPack:
       return "MemBinPack";
+    case PlacementPolicy::kHintedBinPack:
+      return "HintedBinPack";
   }
   return "?";
 }
 
-ClusterScheduler::ClusterScheduler(PlacementPolicy policy, std::vector<FaasRuntime*> hosts)
+ClusterScheduler::ClusterScheduler(PlacementPolicy policy, std::vector<HostControl*> hosts)
     : policy_(policy), hosts_(std::move(hosts)) {
   assert(!hosts_.empty());
 }
@@ -26,14 +28,18 @@ ClusterScheduler::ClusterScheduler(PlacementPolicy policy, std::vector<FaasRunti
 std::vector<size_t> ClusterScheduler::PlaceFunction(uint64_t boot_commit,
                                                     uint64_t plug_unit,
                                                     size_t replicas) {
+  fn_plug_unit_.push_back(plug_unit);
   replicas = std::min(std::max<size_t>(replicas, 1), hosts_.size());
-  // Hard admission: only hosts that can commit the VM's boot footprint are
-  // candidates.  Fewer candidates than requested replicas degrades the
-  // replica count; zero candidates means the function is unplaceable (the
-  // cluster then rejects its invocations instead of crashing a host).
+  // Hard admission: only non-draining hosts that can commit the VM's boot
+  // footprint are candidates, judged from one snapshot each.  Fewer
+  // candidates than requested replicas degrades the replica count; zero
+  // candidates means the function is unplaceable (the cluster then
+  // rejects its invocations instead of crashing a host).
   std::vector<size_t> order;
+  std::vector<HostSnapshot> snaps(hosts_.size());
   for (size_t h = 0; h < hosts_.size(); ++h) {
-    if (hosts_[h]->host().available() >= boot_commit) {
+    snaps[h] = hosts_[h]->Snapshot();
+    if (!snaps[h].draining && snaps[h].available >= boot_commit) {
       order.push_back(h);
     }
   }
@@ -50,16 +56,17 @@ std::vector<size_t> ClusterScheduler::PlaceFunction(uint64_t boot_commit,
       place_cursor_ += replicas;
       break;
     case PlacementPolicy::kLeastCommitted:
-      std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
-        return hosts_[a]->committed() < hosts_[b]->committed();
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return snaps[a].committed < snaps[b].committed;
       });
       break;
-    case PlacementPolicy::kMemoryAwareBinPack: {
+    case PlacementPolicy::kMemoryAwareBinPack:
+    case PlacementPolicy::kHintedBinPack: {
       // Most committed host that still fits boot + one instance, so VM
       // bases pack tightly and whole hosts stay free; boot-only hosts sort
       // last (most available first, to degrade gracefully).
       const uint64_t need = boot_commit + plug_unit;
-      auto fits = [&](size_t h) { return hosts_[h]->host().available() >= need; };
+      auto fits = [&](size_t h) { return snaps[h].available >= need; };
       std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
         const bool fa = fits(a);
         const bool fb = fits(b);
@@ -67,9 +74,9 @@ std::vector<size_t> ClusterScheduler::PlaceFunction(uint64_t boot_commit,
           return fa;
         }
         if (fa) {
-          return hosts_[a]->committed() > hosts_[b]->committed();
+          return snaps[a].committed > snaps[b].committed;
         }
-        return hosts_[a]->committed() < hosts_[b]->committed();
+        return snaps[a].committed < snaps[b].committed;
       });
       break;
     }
@@ -80,57 +87,106 @@ std::vector<size_t> ClusterScheduler::PlaceFunction(uint64_t boot_commit,
   return order;
 }
 
+size_t& ClusterScheduler::RouteCursor(int cluster_fn) {
+  if (route_cursor_.size() <= static_cast<size_t>(cluster_fn)) {
+    route_cursor_.resize(static_cast<size_t>(cluster_fn) + 1, 0);
+  }
+  return route_cursor_[static_cast<size_t>(cluster_fn)];
+}
+
 size_t ClusterScheduler::LeastCommittedOf(const std::vector<Replica>& replicas,
+                                          const std::vector<HostSnapshot>& snaps,
                                           int cluster_fn) {
-  uint64_t min_committed = hosts_[replicas[0].host]->committed();
-  for (size_t i = 1; i < replicas.size(); ++i) {
-    min_committed = std::min(min_committed, hosts_[replicas[i].host]->committed());
+  // Draining hosts take no new work while any alternative exists.
+  bool any_live = false;
+  for (const HostSnapshot& s : snaps) {
+    any_live = any_live || !s.draining;
+  }
+  auto eligible = [&](size_t i) { return any_live ? !snaps[i].draining : true; };
+
+  uint64_t min_committed = 0;
+  bool seeded = false;
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    if (!eligible(i)) {
+      continue;
+    }
+    if (!seeded || snaps[i].committed < min_committed) {
+      min_committed = snaps[i].committed;
+      seeded = true;
+    }
   }
   // Exact ties are common (hosts idle at their boot commitment); breaking
   // them toward a fixed host would make the policy de facto sticky, so
   // tied hosts are rotated per function instead (still deterministic).
   std::vector<size_t> tied;
   for (size_t i = 0; i < replicas.size(); ++i) {
-    if (hosts_[replicas[i].host]->committed() == min_committed) {
+    if (eligible(i) && snaps[i].committed == min_committed) {
       tied.push_back(i);
     }
   }
-  if (route_cursor_.size() <= static_cast<size_t>(cluster_fn)) {
-    route_cursor_.resize(static_cast<size_t>(cluster_fn) + 1, 0);
-  }
-  return tied[route_cursor_[static_cast<size_t>(cluster_fn)]++ % tied.size()];
+  return tied[RouteCursor(cluster_fn)++ % tied.size()];
 }
 
 const Replica& ClusterScheduler::Route(int cluster_fn,
                                        const std::vector<Replica>& replicas) {
   assert(!replicas.empty());
   ++decisions_;
-  if (route_cursor_.size() <= static_cast<size_t>(cluster_fn)) {
-    route_cursor_.resize(static_cast<size_t>(cluster_fn) + 1, 0);
+
+  // One consistent snapshot per replica for this whole decision: committed,
+  // pressure and admissibility are read together, never torn.  The
+  // admission check walks instance state, so only the bin-packing
+  // policies (the ones that read can_admit) pay for it.
+  const bool wants_admit = policy_ == PlacementPolicy::kMemoryAwareBinPack ||
+                           policy_ == PlacementPolicy::kHintedBinPack;
+  std::vector<HostSnapshot> snaps;
+  snaps.reserve(replicas.size());
+  for (const Replica& r : replicas) {
+    snaps.push_back(hosts_[r.host]->Snapshot(wants_admit ? r.local_fn : -1));
   }
+
   switch (policy_) {
-    case PlacementPolicy::kRoundRobin:
-      return replicas[route_cursor_[static_cast<size_t>(cluster_fn)]++ %
-                      replicas.size()];
+    case PlacementPolicy::kRoundRobin: {
+      // Spread over the non-draining replicas (all of them when every
+      // host drains — routing must return something).
+      std::vector<size_t> eligible;
+      for (size_t i = 0; i < replicas.size(); ++i) {
+        if (!snaps[i].draining) {
+          eligible.push_back(i);
+        }
+      }
+      if (eligible.empty()) {
+        return replicas[RouteCursor(cluster_fn)++ % replicas.size()];
+      }
+      return replicas[eligible[RouteCursor(cluster_fn)++ % eligible.size()]];
+    }
     case PlacementPolicy::kLeastCommitted:
-      return replicas[LeastCommittedOf(replicas, cluster_fn)];
-    case PlacementPolicy::kMemoryAwareBinPack: {
+      return replicas[LeastCommittedOf(replicas, snaps, cluster_fn)];
+    case PlacementPolicy::kMemoryAwareBinPack:
+    case PlacementPolicy::kHintedBinPack: {
       // Most committed replica that can admit without waiting on
       // reclamation; when none can, fall back to the least committed one
       // (its reclamation backlog is the smallest, so it unblocks first).
       int best = -1;
       for (size_t i = 0; i < replicas.size(); ++i) {
-        const Replica& r = replicas[i];
-        if (!hosts_[r.host]->CanAdmit(r.local_fn)) {
+        if (!snaps[i].can_admit) {
           continue;
         }
-        if (best < 0 || hosts_[r.host]->committed() >
-                            hosts_[replicas[static_cast<size_t>(best)].host]->committed()) {
+        if (best < 0 || snaps[i].committed > snaps[static_cast<size_t>(best)].committed) {
           best = static_cast<int>(i);
         }
       }
       if (best < 0) {
-        return replicas[LeastCommittedOf(replicas, cluster_fn)];
+        const size_t donor = LeastCommittedOf(replicas, snaps, cluster_fn);
+        if (policy_ == PlacementPolicy::kHintedBinPack) {
+          // Co-design: the burst outran reclamation everywhere.  Tell the
+          // donor host to start reclaiming one plug unit NOW (evict +
+          // unplug) instead of waiting for its next pressure tick, so the
+          // scale-up this route triggers is served sooner.
+          const uint64_t unit = fn_plug_unit_[static_cast<size_t>(cluster_fn)];
+          hosts_[replicas[donor].host]->ProactiveReclaim(unit);
+          ++hints_fired_;
+        }
+        return replicas[donor];
       }
       return replicas[static_cast<size_t>(best)];
     }

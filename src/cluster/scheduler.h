@@ -1,10 +1,15 @@
-// Cluster-level placement policies (tentpole of the multi-host layer).
+// Cluster-level placement policies (the fleet's decision plane).
 //
 // Two decisions are routed through the scheduler:
 //   * registration placement — which hosts get a replica VM when a
 //     function is registered (Cluster::AddFunction);
 //   * invocation routing — which replica serves an arriving request,
 //     decided at arrival time against live host state.
+//
+// The scheduler sees hosts ONLY through HostControl (src/faas/
+// host_control.h): each candidate is judged from a single HostSnapshot —
+// one consistent committed/pressure/admit read per decision — and the
+// co-design policies drive reclamation through the same interface.
 //
 // Policies:
 //   kRoundRobin        — classic load spreading, memory-blind.
@@ -22,8 +27,19 @@
 //                        packing signal and the higher the achievable
 //                        density — which is how rapid reclamation becomes
 //                        a fleet-level capacity lever.
+//   kHintedBinPack     — placement–reclaim co-design on top of the
+//                        bin-packer: when NO replica can admit (a burst
+//                        outran reclamation), the scheduler fires
+//                        ProactiveReclaim(plug_unit) at the donor host it
+//                        is about to overflow onto, so eviction + unplug
+//                        start NOW instead of at the host's next pressure
+//                        tick.  With a fast reclaim driver the donor's
+//                        memory is back before the burst's tail arrives.
 //
-// Every decision is a deterministic function of (policy, host state,
+// Draining hosts (HostSnapshot::draining) receive no new replicas and no
+// routes while any non-draining replica exists.
+//
+// Every decision is a deterministic function of (policy, host snapshots,
 // per-function round-robin cursor); ties break toward the lowest host
 // index so cluster runs are bit-reproducible for a given seed.
 #ifndef SQUEEZY_CLUSTER_SCHEDULER_H_
@@ -33,7 +49,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/faas/runtime.h"
+#include "src/faas/host_control.h"
 
 namespace squeezy {
 
@@ -41,6 +57,7 @@ enum class PlacementPolicy : uint8_t {
   kRoundRobin,
   kLeastCommitted,
   kMemoryAwareBinPack,
+  kHintedBinPack,
 };
 
 const char* PlacementPolicyName(PlacementPolicy p);
@@ -55,13 +72,15 @@ struct Replica {
 class ClusterScheduler {
  public:
   // `hosts` must outlive the scheduler.
-  ClusterScheduler(PlacementPolicy policy, std::vector<FaasRuntime*> hosts);
+  ClusterScheduler(PlacementPolicy policy, std::vector<HostControl*> hosts);
 
   // Registration: picks up to `replicas` distinct hosts for a function
   // whose VM commits `boot_commit` bytes at boot and `plug_unit` bytes per
-  // instance.  Hosts that cannot commit the boot footprint are never
-  // chosen; the result may have fewer entries than requested (or be empty
-  // when no host fits — the caller rejects the function's invocations).
+  // instance.  Hosts that cannot commit the boot footprint (or are
+  // draining) are never chosen; the result may have fewer entries than
+  // requested (or be empty when no host fits — the caller rejects the
+  // function's invocations).  Calls must happen in cluster-function-index
+  // order: the plug unit is recorded per function for routing hints.
   std::vector<size_t> PlaceFunction(uint64_t boot_commit, uint64_t plug_unit,
                                     size_t replicas);
 
@@ -71,17 +90,24 @@ class ClusterScheduler {
 
   PlacementPolicy policy() const { return policy_; }
   uint64_t decisions() const { return decisions_; }
+  // ProactiveReclaim hints fired at donor hosts (kHintedBinPack only).
+  uint64_t hints_fired() const { return hints_fired_; }
 
  private:
-  // Index into `replicas` of the least-committed host; exact ties rotate
-  // per function (see .cc) to avoid sticky-host herding.
-  size_t LeastCommittedOf(const std::vector<Replica>& replicas, int cluster_fn);
+  // Index into `replicas`/`snaps` of the least-committed non-draining host
+  // (all hosts when every one drains); exact ties rotate per function (see
+  // .cc) to avoid sticky-host herding.
+  size_t LeastCommittedOf(const std::vector<Replica>& replicas,
+                          const std::vector<HostSnapshot>& snaps, int cluster_fn);
+  size_t& RouteCursor(int cluster_fn);
 
   PlacementPolicy policy_;
-  std::vector<FaasRuntime*> hosts_;
+  std::vector<HostControl*> hosts_;
   size_t place_cursor_ = 0;            // Registration round-robin.
   std::vector<size_t> route_cursor_;   // Per-function routing round-robin.
+  std::vector<uint64_t> fn_plug_unit_; // Per-function plug unit (hint sizing).
   uint64_t decisions_ = 0;
+  uint64_t hints_fired_ = 0;
 };
 
 }  // namespace squeezy

@@ -1,0 +1,55 @@
+// The narrow control-plane surface a cluster scheduler sees of one host.
+//
+// Placement–reclaim co-design happens through this interface: the
+// scheduler reads ONE consistent HostSnapshot per routing decision (no
+// torn committed/admit reads), and can drive reclamation on the data
+// plane — ProactiveReclaim before routing a burst at a donor host,
+// Drain/Undrain for maintenance.  FaasRuntime implements it; the cluster
+// layer (src/cluster/) holds hosts only through HostControl*, so
+// alternative host implementations (remote agents, mocks) slot in.
+#ifndef SQUEEZY_FAAS_HOST_CONTROL_H_
+#define SQUEEZY_FAAS_HOST_CONTROL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace squeezy {
+
+// One consistent view of a host at a routing instant.
+struct HostSnapshot {
+  uint64_t committed = 0;   // Admission-control book (bin-packing quantity).
+  uint64_t capacity = 0;
+  uint64_t available = 0;   // capacity - committed.
+  size_t pending_scaleups = 0;  // Memory-starved scale-ups right now (pressure).
+  bool draining = false;
+  // Whether one more invocation of the queried function can start without
+  // waiting on reclamation.  Only meaningful when Snapshot() was passed a
+  // local function index; false otherwise (and always false while
+  // draining).
+  bool can_admit = false;
+};
+
+class HostControl {
+ public:
+  virtual ~HostControl() = default;
+
+  // One consistent committed/pressure/admit read.  `local_fn` is the
+  // host-local function index to admission-check, or -1 for a
+  // function-agnostic snapshot.
+  virtual HostSnapshot Snapshot(int local_fn) const = 0;
+  HostSnapshot Snapshot() const { return Snapshot(-1); }
+
+  // Hint: return >= `bytes` of committed memory soon (evict idle
+  // instances, drop slack buffers).  Returns the bytes expected from the
+  // reclamation triggered; 0 when nothing is reclaimable.
+  virtual uint64_t ProactiveReclaim(uint64_t bytes) = 0;
+
+  // Maintenance drain: the host stops admitting (Snapshot().draining,
+  // can_admit == false) and reclaims aggressively until Undrain().
+  virtual void Drain() = 0;
+  virtual void Undrain() = 0;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_FAAS_HOST_CONTROL_H_

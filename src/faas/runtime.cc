@@ -4,35 +4,20 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/policy/driver_factory.h"
+
 namespace squeezy {
 namespace {
 
-// Flat (non-Squeezy) hot-pluggable region: N instances + dependency page
-// cache + harvest slack.  Shared by AddFunction's device sizing and
-// BootCommitment's static-policy book so the two can never diverge.
-uint64_t FlatHotplugRegion(const RuntimeConfig& config, uint64_t plug_unit,
-                           uint64_t deps_region, uint32_t max_concurrency) {
-  const uint64_t slack = config.policy == ReclaimPolicy::kHarvestOpts
-                             ? config.harvest_buffer_units * plug_unit
-                             : 0;
-  return static_cast<uint64_t>(max_concurrency) * plug_unit + deps_region + slack;
+DriverSizing SizingFor(const FunctionSpec& spec, uint32_t max_concurrency) {
+  DriverSizing s;
+  s.plug_unit = BytesToBlocks(spec.memory_limit) * kMemoryBlockBytes;
+  s.deps_region = BytesToBlocks(spec.file_deps_bytes) * kMemoryBlockBytes;
+  s.max_concurrency = max_concurrency;
+  return s;
 }
 
 }  // namespace
-
-const char* ReclaimPolicyName(ReclaimPolicy p) {
-  switch (p) {
-    case ReclaimPolicy::kStatic:
-      return "Static";
-    case ReclaimPolicy::kVirtioMem:
-      return "Virtio-mem";
-    case ReclaimPolicy::kSqueezy:
-      return "Squeezy";
-    case ReclaimPolicy::kHarvestOpts:
-      return "HarvestVM-opts";
-  }
-  return "?";
-}
 
 FaasRuntime::FaasRuntime(const RuntimeConfig& config)
     : FaasRuntime(config, nullptr) {}
@@ -43,22 +28,19 @@ FaasRuntime::FaasRuntime(const RuntimeConfig& config, EventQueue* events)
       owned_events_(events ? nullptr : std::make_unique<EventQueue>()),
       events_(events ? events : owned_events_.get()),
       cpu_(Sec(1)),
-      host_(config.host_capacity) {
+      host_(config.host_capacity),
+      driver_(MakeReclaimDriver(config)) {
   hv_ = std::make_unique<Hypervisor>(&host_, &cost_, &cpu_);
+  driver_->Bind(this);
 }
 
 FaasRuntime::~FaasRuntime() = default;
 
 uint64_t FaasRuntime::BootCommitment(const RuntimeConfig& config, const FunctionSpec& spec,
                                      uint32_t max_concurrency) {
-  const uint64_t plug_unit = BytesToBlocks(spec.memory_limit) * kMemoryBlockBytes;
-  const uint64_t deps_region = BytesToBlocks(spec.file_deps_bytes) * kMemoryBlockBytes;
-  if (config.policy == ReclaimPolicy::kStatic) {
-    // Over-provisioned: the whole hotplug region is committed up front.
-    return config.vm_base_memory +
-           FlatHotplugRegion(config, plug_unit, deps_region, max_concurrency);
-  }
-  return config.vm_base_memory + deps_region;
+  // A throwaway unbound driver: sizing hooks are pure functions of
+  // (config, spec), usable before any runtime exists.
+  return MakeReclaimDriver(config)->BootCommitment(SizingFor(spec, max_concurrency));
 }
 
 int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency) {
@@ -66,8 +48,8 @@ int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency)
   auto bundle = std::make_unique<VmBundle>();
   bundle->spec = spec;
   bundle->max_concurrency = max_concurrency;
-  bundle->plug_unit = BytesToBlocks(spec.memory_limit) * kMemoryBlockBytes;
-  const uint64_t deps_region = BytesToBlocks(spec.file_deps_bytes) * kMemoryBlockBytes;
+  const DriverSizing sizing = SizingFor(spec, max_concurrency);
+  bundle->plug_unit = sizing.plug_unit;
 
   GuestConfig gcfg;
   gcfg.name = spec.name;
@@ -77,42 +59,25 @@ int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency)
   gcfg.seed = config_.seed * 977 + static_cast<uint64_t>(fn) * 131;
   gcfg.unplug_timeout = config_.unplug_timeout;
   gcfg.shuffle_allocator = true;
-
-  SqueezyConfig scfg;
-  const bool use_squeezy = config_.policy == ReclaimPolicy::kSqueezy;
-  if (use_squeezy) {
-    scfg.partition_bytes = bundle->plug_unit;
-    scfg.nr_partitions = max_concurrency;
-    scfg.shared_bytes = deps_region;
-    gcfg.hotplug_region = scfg.region_bytes();
-  } else {
-    // Vanilla/harvest/static: one flat hot-pluggable movable region sized
-    // for N instances + dependency page cache (+ harvest slack).
-    gcfg.hotplug_region =
-        FlatHotplugRegion(config_, bundle->plug_unit, deps_region, max_concurrency);
-  }
+  gcfg.hotplug_region = driver_->HotplugRegionBytes(sizing);
 
   bundle->guest = std::make_unique<GuestKernel>(gcfg, hv_.get(), &cpu_);
-  if (use_squeezy) {
+  if (driver_->UsesSqueezy()) {
+    SqueezyConfig scfg;
+    scfg.partition_bytes = sizing.plug_unit;
+    scfg.nr_partitions = max_concurrency;
+    scfg.shared_bytes = sizing.deps_region;
+    assert(scfg.region_bytes() == gcfg.hotplug_region);
     // Plugs the shared partition at boot.
     bundle->sqz = std::make_unique<SqueezyManager>(bundle->guest.get(), scfg);
   }
+  vms_.push_back(std::move(bundle));
 
-  // Host commitment at boot: base RAM plus the boot-time plug (shared
-  // partition / dependency cache region).
-  const uint64_t boot_commit = BootCommitment(config_, spec, max_concurrency);
-  if (config_.policy == ReclaimPolicy::kStatic) {
-    // Over-provisioned: everything plugged and committed up front, and the
-    // host backing is warm (long-running VM).
-    const PlugOutcome all = bundle->guest->PlugMemory(gcfg.hotplug_region, 0);
-    assert(all.complete);
-    if (config_.warm_static_backing) {
-      bundle->guest->WarmAllHostBacking(0);
-    }
-  } else if (!use_squeezy) {
-    const PlugOutcome deps = bundle->guest->PlugMemory(deps_region, 0);
-    assert(deps.complete);
-  }
+  // Host commitment at boot: base RAM plus the driver's boot-time plug
+  // (everything for static VMs, shared partition / dependency cache for
+  // the dynamic drivers).
+  driver_->OnVmBoot(fn, gcfg.hotplug_region, sizing.deps_region);
+  const uint64_t boot_commit = driver_->BootCommitment(sizing);
   const bool reserved = host_.TryReserve(boot_commit, 0);
   assert(reserved && "host must fit the boot-time footprint of every VM");
   (void)reserved;
@@ -121,16 +86,15 @@ int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency)
   acfg.max_concurrency = max_concurrency;
   acfg.vcpus = gcfg.vcpus;
   acfg.keep_alive = config_.keep_alive;
-  acfg.use_squeezy = use_squeezy;
+  acfg.use_squeezy = driver_->UsesSqueezy();
   AgentCallbacks callbacks;
   callbacks.acquire_memory = [this, fn](std::function<void(DurationNs)> ready) {
-    AcquireMemory(fn, std::move(ready));
+    driver_->Acquire(fn, std::move(ready));
   };
-  callbacks.release_memory = [this, fn] { ReleaseInstanceMemory(fn); };
-  bundle->agent = std::make_unique<Agent>(events_, bundle->guest.get(), bundle->sqz.get(),
-                                          spec, acfg, std::move(callbacks),
-                                          gcfg.seed ^ 0x5eedULL);
-  vms_.push_back(std::move(bundle));
+  callbacks.release_memory = [this, fn] { driver_->Release(fn); };
+  VmBundle& b = vm(fn);
+  b.agent = std::make_unique<Agent>(events_, b.guest.get(), b.sqz.get(), spec, acfg,
+                                    std::move(callbacks), gcfg.seed ^ 0x5eedULL);
   return fn;
 }
 
@@ -142,58 +106,28 @@ void FaasRuntime::SubmitTrace(const std::vector<Invocation>& trace) {
   }
 }
 
-// --- Memory orchestration ----------------------------------------------------------
+// --- Mechanism primitives (ReclaimHost) --------------------------------------------
 
-void FaasRuntime::AcquireMemory(int fn, std::function<void(DurationNs)> ready) {
+uint64_t FaasRuntime::TakeSpare(int fn, uint64_t max_bytes) {
   VmBundle& b = vm(fn);
-  switch (config_.policy) {
-    case ReclaimPolicy::kStatic:
-      // Memory is always there; no VMM work on the cold path.
-      ready(0);
-      return;
-    case ReclaimPolicy::kHarvestOpts:
-      if (b.buffer_units > 0) {
-        // Serve from the pre-plugged slack buffer: near-instant, the whole
-        // point of the HarvestVM buffering optimization.
-        --b.buffer_units;
-        events_->ScheduleAfter(Msec(1), [ready = std::move(ready)] { ready(Msec(1)); });
-        return;
-      }
-      [[fallthrough]];
-    case ReclaimPolicy::kVirtioMem:
-    case ReclaimPolicy::kSqueezy: {
-      if (b.queued_unplugs > b.cancelled_unplugs) {
-        // An unplug for this VM is queued but not started: absorb it and
-        // reuse its (still plugged, still committed) memory directly.
-        ++b.cancelled_unplugs;
-        events_->ScheduleAfter(Msec(1), [ready = std::move(ready)] { ready(Msec(1)); });
-        return;
-      }
-      // Memory left behind by timed-out/partial unplugs is still plugged
-      // and committed: consume it first, plugging only the remainder.
-      const uint64_t from_spare = std::min(b.spare_plugged, b.plug_unit);
-      const uint64_t need = b.plug_unit - from_spare;
-      if (need == 0) {
-        b.spare_plugged -= b.plug_unit;
-        events_->ScheduleAfter(Msec(1), [ready = std::move(ready)] { ready(Msec(1)); });
-        return;
-      }
-      if (host_.TryReserve(need, events_->now())) {
-        b.spare_plugged -= from_spare;
-        PlugAndGrant(fn, need, std::move(ready));
-        return;
-      }
-      // Memory-starved: wait for scale-downs to release memory (§6.2.2).
-      ++pending_total_;
-      pending_.push_back(PendingScaleUp{fn, std::move(ready)});
-      MakeRoom(b.plug_unit * (config_.policy == ReclaimPolicy::kHarvestOpts ? 2 : 1));
-      if (!tick_armed_) {
-        tick_armed_ = true;
-        events_->ScheduleAfter(config_.pressure_check_period, [this] { PressureTick(); });
-      }
-      return;
-    }
+  const uint64_t taken = std::min(b.spare_plugged, max_bytes);
+  b.spare_plugged -= taken;
+  return taken;
+}
+
+void FaasRuntime::AddSpare(int fn, uint64_t bytes) { vm(fn).spare_plugged += bytes; }
+
+bool FaasRuntime::HasCancellableUnplug(int fn) const {
+  const VmBundle& b = *vms_[static_cast<size_t>(fn)];
+  return b.queued_unplugs > b.cancelled_unplugs;
+}
+
+bool FaasRuntime::TryCancelQueuedUnplug(int fn) {
+  if (!HasCancellableUnplug(fn)) {
+    return false;
   }
+  ++vm(fn).cancelled_unplugs;
+  return true;
 }
 
 void FaasRuntime::PlugAndGrant(int fn, uint64_t bytes, std::function<void(DurationNs)> ready) {
@@ -202,28 +136,6 @@ void FaasRuntime::PlugAndGrant(int fn, uint64_t bytes, std::function<void(Durati
   assert(out.complete && "device region must be sized for max concurrency");
   events_->ScheduleAfter(out.latency,
                         [ready = std::move(ready), lat = out.latency] { ready(lat); });
-}
-
-void FaasRuntime::ReleaseInstanceMemory(int fn) {
-  VmBundle& b = vm(fn);
-  switch (config_.policy) {
-    case ReclaimPolicy::kStatic:
-      return;  // Nothing to reclaim; memory stays with the VM.
-    case ReclaimPolicy::kHarvestOpts: {
-      if (pending_.empty() && b.buffer_units < config_.harvest_buffer_units) {
-        // Keep the memory plugged as slack for the next spike (drained by
-        // the pressure tick when the host runs low).
-        ++b.buffer_units;
-        return;
-      }
-      StartUnplug(fn);
-      return;
-    }
-    case ReclaimPolicy::kVirtioMem:
-    case ReclaimPolicy::kSqueezy:
-      StartUnplug(fn);
-      return;
-  }
 }
 
 void FaasRuntime::StartUnplug(int fn) {
@@ -246,14 +158,10 @@ void FaasRuntime::StartUnplug(int fn) {
   const UnplugOutcome out = b.guest->UnplugMemory(b.plug_unit, events_->now());
   if (!out.complete) {
     ++unplug_incomplete_;
-    if (config_.policy != ReclaimPolicy::kSqueezy) {
-      // Whatever the request failed to reclaim stays plugged (and
-      // committed); later scale-ups of this VM consume it directly.
-      b.spare_plugged += b.plug_unit - out.bytes_unplugged;
-    }
-    // Under Squeezy an "incomplete" unplug means the drained partition was
-    // already re-assigned through the waitqueue (reuse-without-replug):
-    // there is nothing left to reclaim and nothing left over.
+    // Squeezy: an "incomplete" unplug means the drained partition was
+    // already re-assigned through the waitqueue (reuse-without-replug);
+    // vanilla drivers bank the leftover as spare.  The driver decides.
+    driver_->OnUnplugIncomplete(fn, b.plug_unit - out.bytes_unplugged);
   }
   b.unplug_busy_until = events_->now() + out.latency();
   // The virtio-mem worker's guest-side CPU time (migrations, zeroing)
@@ -268,6 +176,18 @@ void FaasRuntime::StartUnplug(int fn) {
   });
 }
 
+void FaasRuntime::EnqueuePending(int fn, std::function<void(DurationNs)> ready) {
+  ++pending_total_;
+  pending_.push_back(PendingScaleUp{fn, std::move(ready)});
+}
+
+void FaasRuntime::ArmPressureTick() {
+  if (!tick_armed_) {
+    tick_armed_ = true;
+    events_->ScheduleAfter(config_.pressure_check_period, [this] { PressureTick(); });
+  }
+}
+
 void FaasRuntime::TryServePending() {
   for (auto it = pending_.begin(); it != pending_.end();) {
     VmBundle& b = vm(it->fn);
@@ -280,6 +200,14 @@ void FaasRuntime::TryServePending() {
       ++it;  // FIFO with skip: smaller requests behind may still fit.
     }
   }
+}
+
+uint64_t FaasRuntime::PendingPlugBytes() const {
+  uint64_t needed = 0;
+  for (const PendingScaleUp& p : pending_) {
+    needed += vms_[static_cast<size_t>(p.fn)]->plug_unit;
+  }
+  return needed;
 }
 
 uint64_t FaasRuntime::MakeRoom(uint64_t needed) {
@@ -302,49 +230,36 @@ uint64_t FaasRuntime::MakeRoom(uint64_t needed) {
     if (best < 0) {
       break;  // Nothing idle to reclaim; pending scale-ups must wait.
     }
-    // Eviction triggers ReleaseInstanceMemory -> unplug (async release).
+    // Eviction triggers the agent's release callback -> driver Release ->
+    // unplug (async commitment release).
     vm(best).agent->EvictOldestIdle();
     expected += vm(best).plug_unit;
   }
   return expected;
 }
 
+size_t FaasRuntime::ReapAllIdle() {
+  size_t evicted = 0;
+  for (auto& b : vms_) {
+    while (b->agent->EvictOldestIdle()) {
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
 void FaasRuntime::PressureTick() {
   tick_armed_ = false;
-  TryServePending();
+  driver_->PressureTick();
   if (!pending_.empty()) {
-    uint64_t needed = 0;
-    for (const PendingScaleUp& p : pending_) {
-      needed += vm(p.fn).plug_unit;
-    }
-    if (config_.policy == ReclaimPolicy::kHarvestOpts) {
-      needed *= 2;  // Proactive over-reclamation (HarvestVM).
-    }
-    MakeRoom(needed);
-  }
-  if (config_.policy == ReclaimPolicy::kHarvestOpts) {
-    const double free_frac =
-        static_cast<double>(host_.available()) / static_cast<double>(host_.capacity());
-    if (free_frac < config_.harvest_low_memory_frac) {
-      // Background proactive reclaim: drop the slack buffers first, then
-      // idle instances.
-      for (auto& b : vms_) {
-        while (b->buffer_units > 0) {
-          --b->buffer_units;
-          const int fn = static_cast<int>(&b - &vms_[0]);
-          StartUnplug(fn);
-        }
-      }
-      MakeRoom(kMemoryBlockBytes * 8);
-    }
-  }
-  if (!pending_.empty()) {
-    tick_armed_ = true;
-    events_->ScheduleAfter(config_.pressure_check_period, [this] { PressureTick(); });
+    ArmPressureTick();
   }
 }
 
 bool FaasRuntime::CanAdmit(int fn) const {
+  if (draining_) {
+    return false;  // A draining host takes no new work.
+  }
   const VmBundle& b = *vms_[static_cast<size_t>(fn)];
   if (b.agent->idle_instances() > 0) {
     return true;  // Warm reuse: no new memory needed.
@@ -352,21 +267,70 @@ bool FaasRuntime::CanAdmit(int fn) const {
   if (b.agent->live_instances() >= b.max_concurrency) {
     return false;  // The N:1 VM is saturated; the request would queue.
   }
-  if (config_.policy == ReclaimPolicy::kStatic) {
+  if (driver_->AlwaysAdmits()) {
     return true;  // Everything is pre-plugged.
   }
   // Plugged-but-uncommitted-elsewhere memory this VM can reuse instantly.
-  uint64_t reusable = b.spare_plugged;
-  if (b.queued_unplugs > b.cancelled_unplugs) {
-    reusable += b.plug_unit;
-  }
-  if (config_.policy == ReclaimPolicy::kHarvestOpts) {
-    reusable += static_cast<uint64_t>(b.buffer_units) * b.plug_unit;
-  }
+  const uint64_t reusable = driver_->ReusablePlugged(fn);
   if (reusable >= b.plug_unit) {
     return true;
   }
   return host_.available() >= b.plug_unit - std::min(reusable, b.plug_unit);
+}
+
+// --- HostControl -------------------------------------------------------------------
+
+HostSnapshot FaasRuntime::Snapshot(int local_fn) const {
+  HostSnapshot s;
+  s.committed = host_.committed();
+  s.capacity = host_.capacity();
+  s.available = host_.available();
+  s.pending_scaleups = pending_.size();
+  s.draining = draining_;
+  s.can_admit = local_fn >= 0 && CanAdmit(local_fn);
+  return s;
+}
+
+uint64_t FaasRuntime::ProactiveReclaim(uint64_t bytes) {
+  ++proactive_reclaims_;
+  return driver_->ProactiveReclaim(bytes);
+}
+
+void FaasRuntime::Drain() {
+  if (draining_) {
+    return;
+  }
+  draining_ = true;
+  driver_->OnDrain();
+  if (!drain_tick_armed_) {
+    drain_tick_armed_ = true;
+    events_->ScheduleAfter(config_.pressure_check_period, [this] { DrainTick(); });
+  }
+}
+
+void FaasRuntime::Undrain() { draining_ = false; }
+
+void FaasRuntime::DrainTick() {
+  drain_tick_armed_ = false;
+  if (!draining_) {
+    return;
+  }
+  // Busy instances finish their requests, go idle, and are reaped on the
+  // next tick; keep ticking until the host is empty (or undrained).
+  ReapAllIdle();
+  if (AnyLiveInstances()) {
+    drain_tick_armed_ = true;
+    events_->ScheduleAfter(config_.pressure_check_period, [this] { DrainTick(); });
+  }
+}
+
+bool FaasRuntime::AnyLiveInstances() const {
+  for (const auto& b : vms_) {
+    if (b->agent->live_instances() > 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 double FaasRuntime::ReclaimThroughputMiBps(int fn) const {

@@ -6,14 +6,16 @@
 //     under memory pressure scale-ups wait for scale-downs to free memory
 //     (paper §6.2.2);
 //   * scale-down: keep-alive eviction triggers unplug per the configured
-//     reclamation policy.
+//     reclamation driver.
 //
-// Policies:
-//   kStatic     — over-provisioned VM, no plugging (the §6.2.1 baseline).
-//   kVirtioMem  — vanilla virtio-mem unplug (migrations, timeouts).
-//   kSqueezy    — partition-aware plug/unplug (this paper).
-//   kHarvestOpts— virtio-mem + HarvestVM optimizations: per-VM slack
-//                 buffers and proactive idle reclamation (paper §6.2.2).
+// Policy/mechanism split: the runtime is pure mechanism (commitment books,
+// the per-VM virtio-mem worker queue, pending FIFO, idle reaping); WHAT
+// happens on acquire/release/pressure is decided by a pluggable
+// ReclaimDriver (src/policy/) resolved from RuntimeConfig::policy.
+//
+// Control plane: the runtime implements HostControl — a cluster scheduler
+// reads one consistent Snapshot per decision and can drive
+// ProactiveReclaim / Drain on this host (src/cluster/).
 #ifndef SQUEEZY_FAAS_RUNTIME_H_
 #define SQUEEZY_FAAS_RUNTIME_H_
 
@@ -27,9 +29,12 @@
 #include "src/core/squeezy.h"
 #include "src/faas/agent.h"
 #include "src/faas/function.h"
+#include "src/faas/host_control.h"
+#include "src/faas/runtime_config.h"
 #include "src/guest/guest_kernel.h"
 #include "src/host/host_memory.h"
 #include "src/host/hypervisor.h"
+#include "src/policy/reclaim_driver.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/cpu_accountant.h"
 #include "src/sim/event_queue.h"
@@ -37,38 +42,7 @@
 
 namespace squeezy {
 
-enum class ReclaimPolicy : uint8_t {
-  kStatic,
-  kVirtioMem,
-  kSqueezy,
-  kHarvestOpts,
-};
-
-const char* ReclaimPolicyName(ReclaimPolicy p);
-
-struct RuntimeConfig {
-  uint64_t host_capacity = GiB(256);
-  ReclaimPolicy policy = ReclaimPolicy::kSqueezy;
-  DurationNs keep_alive = Minutes(2);
-  uint64_t seed = 1;
-  uint64_t vm_base_memory = MiB(512);
-  DurationNs unplug_timeout = Sec(5);
-  // kStatic only: mark the over-provisioned VM's memory host-backed at
-  // boot (a long-running warm VM).  Disable to watch the host footprint
-  // grow to its high watermark (Fig 1).
-  bool warm_static_backing = true;
-  // Pressure check cadence (serves pending scale-ups, harvest proactive).
-  DurationNs pressure_check_period = Sec(1);
-  // HarvestVM-opts knobs (paper §6.2.2): slack instances kept plugged per
-  // VM, and the free-memory fraction below which idle instances are
-  // proactively reclaimed.
-  uint32_t harvest_buffer_units = 2;
-  double harvest_low_memory_frac = 0.12;
-  // Cost model (copied; benches tweak fields before constructing).
-  CostModel cost = CostModel::Default();
-};
-
-class FaasRuntime {
+class FaasRuntime : public HostControl, private ReclaimHost {
  public:
   // Standalone runtime: owns its own event queue.
   explicit FaasRuntime(const RuntimeConfig& config);
@@ -76,7 +50,7 @@ class FaasRuntime {
   // clock orders the whole fleet (src/cluster/).  `events` must outlive
   // the runtime.
   FaasRuntime(const RuntimeConfig& config, EventQueue* events);
-  ~FaasRuntime();
+  ~FaasRuntime() override;
 
   // Registers one N:1 VM hosting `spec` with concurrency factor N.
   // Returns the function index used by SubmitTrace.
@@ -96,7 +70,7 @@ class FaasRuntime {
   void RunAll() { events_->RunAll(); }
 
   // --- Accessors -----------------------------------------------------------------
-  EventQueue& events() { return *events_; }
+  EventQueue& events() override { return *events_; }
   HostMemory& host() { return host_; }
   const HostMemory& host() const { return host_; }
   Hypervisor& hypervisor() { return *hv_; }
@@ -104,10 +78,11 @@ class FaasRuntime {
   size_t function_count() const { return vms_.size(); }
   Agent& agent(int fn) { return *vms_[static_cast<size_t>(fn)]->agent; }
   const Agent& agent(int fn) const { return *vms_[static_cast<size_t>(fn)]->agent; }
-  GuestKernel& guest(int fn) { return *vms_[static_cast<size_t>(fn)]->guest; }
+  GuestKernel& guest(int fn) override { return *vms_[static_cast<size_t>(fn)]->guest; }
   SqueezyManager* squeezy(int fn) { return vms_[static_cast<size_t>(fn)]->sqz.get(); }
   const FunctionSpec& spec(int fn) const { return vms_[static_cast<size_t>(fn)]->spec; }
   const RuntimeConfig& config() const { return config_; }
+  const ReclaimDriver& driver() const { return *driver_; }
 
   // Reclamation throughput achieved by fn's VM so far (MiB/s); 0 if the VM
   // never unplugged (Fig 8).
@@ -118,6 +93,9 @@ class FaasRuntime {
   // starvation signal aggregated by src/metrics/fleet.*).
   uint64_t total_pending_scaleups() const { return pending_total_; }
   uint64_t total_unplug_failures() const { return unplug_incomplete_; }
+  // ProactiveReclaim calls received from the control plane (co-design
+  // observability: did the scheduler's hints actually fire?).
+  uint64_t total_proactive_reclaims() const { return proactive_reclaims_; }
 
   // --- Cluster introspection hooks -------------------------------------------------
   // Memory signals a cluster scheduler places against (committed is the
@@ -127,8 +105,17 @@ class FaasRuntime {
   // Whether one more invocation of fn can start without waiting on
   // reclamation: a warm instance is free, reusable plugged memory exists
   // (queued-unplug cancellation / spare from partial unplugs / harvest
-  // slack), or the host can commit a fresh plug unit right now.
+  // slack), or the host can commit a fresh plug unit right now.  Always
+  // false while draining.
   bool CanAdmit(int fn) const;
+  bool draining() const override { return draining_; }
+
+  // --- HostControl (the cluster-facing control plane) ------------------------------
+  using HostControl::Snapshot;
+  HostSnapshot Snapshot(int local_fn) const override;
+  uint64_t ProactiveReclaim(uint64_t bytes) override;
+  void Drain() override;
+  void Undrain() override;
 
  private:
   struct VmBundle {
@@ -138,7 +125,6 @@ class FaasRuntime {
     std::unique_ptr<GuestKernel> guest;
     std::unique_ptr<SqueezyManager> sqz;
     std::unique_ptr<Agent> agent;
-    uint32_t buffer_units = 0;  // HarvestVM slack currently plugged+idle.
     // The single virtio-mem worker processes unplug requests serially;
     // queued requests start when the previous one finishes.  A scale-up
     // arriving while unplugs are queued cancels one and reuses its memory
@@ -159,23 +145,42 @@ class FaasRuntime {
 
   VmBundle& vm(int fn) { return *vms_[static_cast<size_t>(fn)]; }
 
-  // Agent callbacks.
-  void AcquireMemory(int fn, std::function<void(DurationNs)> ready);
-  void ReleaseInstanceMemory(int fn);
-
+  // --- ReclaimHost: mechanism primitives lent to the driver ------------------------
+  HostMemory& memory() override { return host_; }
+  size_t vm_count() const override { return vms_.size(); }
+  uint64_t plug_unit(int fn) const override {
+    return vms_[static_cast<size_t>(fn)]->plug_unit;
+  }
+  uint64_t spare_plugged(int fn) const override {
+    return vms_[static_cast<size_t>(fn)]->spare_plugged;
+  }
+  uint64_t TakeSpare(int fn, uint64_t max_bytes) override;
+  void AddSpare(int fn, uint64_t bytes) override;
+  bool HasCancellableUnplug(int fn) const override;
+  bool TryCancelQueuedUnplug(int fn) override;
   // Plugs `bytes` for fn and schedules `ready` at plug completion.
   // Pre-condition: the host reservation for `bytes` succeeded.
-  void PlugAndGrant(int fn, uint64_t bytes, std::function<void(DurationNs)> ready);
+  void PlugAndGrant(int fn, uint64_t bytes,
+                    std::function<void(DurationNs)> ready) override;
   // Unplugs one unit from fn's VM; releases the host reservation at
   // completion.
-  void StartUnplug(int fn);
+  void StartUnplug(int fn) override;
+  void EnqueuePending(int fn, std::function<void(DurationNs)> ready) override;
+  void ArmPressureTick() override;
   // Serves queued scale-ups that now fit (FIFO with skip).
-  void TryServePending();
+  void TryServePending() override;
+  bool PendingEmpty() const override { return pending_.empty(); }
+  uint64_t PendingPlugBytes() const override;
   // Evicts globally-oldest idle instances expected to free >= `needed`
   // bytes.  Returns the bytes expected from the evictions triggered.
-  uint64_t MakeRoom(uint64_t needed);
-  // Periodic: serve pending, harvest proactive reclaim / buffer refill.
+  uint64_t MakeRoom(uint64_t needed) override;
+  size_t ReapAllIdle() override;
+
+  // Periodic: hands the tick to the driver, re-arms while work remains.
   void PressureTick();
+  // Drain loop: reap newly-idle instances until the host is empty.
+  void DrainTick();
+  bool AnyLiveInstances() const;
 
   RuntimeConfig config_;
   CostModel cost_;
@@ -184,11 +189,15 @@ class FaasRuntime {
   CpuAccountant cpu_;
   HostMemory host_;
   std::unique_ptr<Hypervisor> hv_;
+  std::unique_ptr<ReclaimDriver> driver_;
   std::vector<std::unique_ptr<VmBundle>> vms_;
   std::deque<PendingScaleUp> pending_;
   uint64_t pending_total_ = 0;
   uint64_t unplug_incomplete_ = 0;
+  uint64_t proactive_reclaims_ = 0;
   bool tick_armed_ = false;
+  bool draining_ = false;
+  bool drain_tick_armed_ = false;
 };
 
 }  // namespace squeezy

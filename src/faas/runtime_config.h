@@ -1,0 +1,42 @@
+// FaasRuntime configuration, split out of runtime.h so the policy layer
+// (src/policy/) can read runtime knobs without depending on the runtime
+// class itself (faas → policy → runtime_config is acyclic).
+#ifndef SQUEEZY_FAAS_RUNTIME_CONFIG_H_
+#define SQUEEZY_FAAS_RUNTIME_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/policy/policy.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/time.h"
+
+namespace squeezy {
+
+struct RuntimeConfig {
+  uint64_t host_capacity = GiB(256);
+  // Convenience handle: resolved to a concrete ReclaimDriver by
+  // MakeReclaimDriver (src/policy/driver_factory.h) at runtime
+  // construction.  Benches and configs keep naming policies by enum.
+  ReclaimPolicy policy = ReclaimPolicy::kSqueezy;
+  DurationNs keep_alive = Minutes(2);
+  uint64_t seed = 1;
+  uint64_t vm_base_memory = MiB(512);
+  DurationNs unplug_timeout = Sec(5);
+  // kStatic only: mark the over-provisioned VM's memory host-backed at
+  // boot (a long-running warm VM).  Disable to watch the host footprint
+  // grow to its high watermark (Fig 1).
+  bool warm_static_backing = true;
+  // Pressure check cadence (serves pending scale-ups, harvest proactive).
+  DurationNs pressure_check_period = Sec(1);
+  // HarvestVM-opts knobs (paper §6.2.2): slack instances kept plugged per
+  // VM, and the free-memory fraction below which idle instances are
+  // proactively reclaimed.
+  uint32_t harvest_buffer_units = 2;
+  double harvest_low_memory_frac = 0.12;
+  // Cost model (copied; benches tweak fields before constructing).
+  CostModel cost = CostModel::Default();
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_FAAS_RUNTIME_CONFIG_H_

@@ -1,0 +1,24 @@
+#include "src/policy/driver_factory.h"
+
+#include "src/policy/harvest_driver.h"
+#include "src/policy/squeezy_driver.h"
+#include "src/policy/static_driver.h"
+#include "src/policy/virtio_mem_driver.h"
+
+namespace squeezy {
+
+std::unique_ptr<ReclaimDriver> MakeReclaimDriver(const RuntimeConfig& config) {
+  switch (config.policy) {
+    case ReclaimPolicy::kStatic:
+      return std::make_unique<StaticDriver>(config);
+    case ReclaimPolicy::kVirtioMem:
+      return std::make_unique<VirtioMemDriver>(config);
+    case ReclaimPolicy::kSqueezy:
+      return std::make_unique<SqueezyDriver>(config);
+    case ReclaimPolicy::kHarvestOpts:
+      return std::make_unique<HarvestDriver>(config);
+  }
+  return std::make_unique<SqueezyDriver>(config);
+}
+
+}  // namespace squeezy

@@ -1,0 +1,19 @@
+// The single place where a ReclaimPolicy enum value becomes behavior.
+#ifndef SQUEEZY_POLICY_DRIVER_FACTORY_H_
+#define SQUEEZY_POLICY_DRIVER_FACTORY_H_
+
+#include <memory>
+
+#include "src/faas/runtime_config.h"
+#include "src/policy/reclaim_driver.h"
+
+namespace squeezy {
+
+// Resolves config.policy to a concrete driver.  The returned driver is
+// unbound (sizing hooks usable immediately); FaasRuntime binds it before
+// any lifecycle hook fires.
+std::unique_ptr<ReclaimDriver> MakeReclaimDriver(const RuntimeConfig& config);
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_POLICY_DRIVER_FACTORY_H_

@@ -1,0 +1,46 @@
+// kHarvestOpts: virtio-mem + the HarvestVM optimizations (paper §6.2.2):
+// per-VM slack buffers of pre-plugged instances served near-instantly,
+// proactive over-reclamation (2x) when scale-ups starve, and background
+// buffer draining when host free memory runs low.
+#ifndef SQUEEZY_POLICY_HARVEST_DRIVER_H_
+#define SQUEEZY_POLICY_HARVEST_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/policy/virtio_mem_driver.h"
+
+namespace squeezy {
+
+class HarvestDriver : public VirtioMemDriver {
+ public:
+  using VirtioMemDriver::VirtioMemDriver;
+
+  ReclaimPolicy policy() const override { return ReclaimPolicy::kHarvestOpts; }
+
+  uint64_t HotplugRegionBytes(const DriverSizing& s) const override;
+
+  void OnVmBoot(int fn, uint64_t hotplug_region, uint64_t deps_region) override;
+  void Acquire(int fn, std::function<void(DurationNs)> ready) override;
+  void Release(int fn) override;
+  uint64_t ReusablePlugged(int fn) const override;
+
+  void PressureTick() override;
+  uint64_t ProactiveReclaim(uint64_t bytes) override;
+  void OnDrain() override;
+
+  uint32_t buffer_units(int fn) const {
+    return buffer_units_[static_cast<size_t>(fn)];
+  }
+
+ private:
+  // Unplugs every slack buffer unit; returns the bytes expected back.
+  uint64_t DrainBuffers();
+
+  // Slack instances currently plugged+idle, per VM.
+  std::vector<uint32_t> buffer_units_;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_POLICY_HARVEST_DRIVER_H_

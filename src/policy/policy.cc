@@ -1,0 +1,19 @@
+#include "src/policy/policy.h"
+
+namespace squeezy {
+
+const char* ReclaimPolicyName(ReclaimPolicy p) {
+  switch (p) {
+    case ReclaimPolicy::kStatic:
+      return "Static";
+    case ReclaimPolicy::kVirtioMem:
+      return "Virtio-mem";
+    case ReclaimPolicy::kSqueezy:
+      return "Squeezy";
+    case ReclaimPolicy::kHarvestOpts:
+      return "HarvestVM-opts";
+  }
+  return "?";
+}
+
+}  // namespace squeezy

@@ -1,0 +1,26 @@
+// Reclamation-policy identifiers.
+//
+// The enum is the *name* of a policy; its behavior lives in a ReclaimDriver
+// (src/policy/reclaim_driver.h).  RuntimeConfig::policy keeps using this
+// enum as a convenience handle that MakeReclaimDriver (driver_factory.h)
+// resolves to a concrete driver, so configs, benches and CSVs stay stable
+// while the behavior is swappable.
+#ifndef SQUEEZY_POLICY_POLICY_H_
+#define SQUEEZY_POLICY_POLICY_H_
+
+#include <cstdint>
+
+namespace squeezy {
+
+enum class ReclaimPolicy : uint8_t {
+  kStatic,       // Over-provisioned VM, no plugging (§6.2.1 baseline).
+  kVirtioMem,    // Vanilla virtio-mem unplug (migrations, timeouts).
+  kSqueezy,      // Partition-aware plug/unplug (this paper).
+  kHarvestOpts,  // virtio-mem + HarvestVM slack buffers / proactive reclaim.
+};
+
+const char* ReclaimPolicyName(ReclaimPolicy p);
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_POLICY_POLICY_H_

@@ -1,0 +1,42 @@
+#include "src/policy/reclaim_driver.h"
+
+#include "src/sim/event_queue.h"
+
+namespace squeezy {
+
+void ReclaimDriver::OnUnplugIncomplete(int fn, uint64_t leftover) {
+  // Whatever the request failed to reclaim stays plugged (and committed);
+  // later scale-ups of this VM consume it directly.
+  host_->AddSpare(fn, leftover);
+}
+
+uint64_t ReclaimDriver::ReusablePlugged(int fn) const {
+  uint64_t reusable = host_->spare_plugged(fn);
+  if (host_->HasCancellableUnplug(fn)) {
+    reusable += host_->plug_unit(fn);
+  }
+  return reusable;
+}
+
+void ReclaimDriver::PressureTick() {
+  host_->TryServePending();
+  if (!host_->PendingEmpty()) {
+    host_->MakeRoom(host_->PendingPlugBytes());
+  }
+}
+
+uint64_t ReclaimDriver::ProactiveReclaim(uint64_t bytes) {
+  return host_->MakeRoom(bytes);
+}
+
+void ReclaimDriver::OnDrain() {
+  // Evict every idle instance now; the runtime's drain tick keeps reaping
+  // instances as they go idle until the host is empty.
+  host_->ReapAllIdle();
+}
+
+void ReclaimDriver::GrantFast(std::function<void(DurationNs)> ready) {
+  host_->events().ScheduleAfter(Msec(1), [ready = std::move(ready)] { ready(Msec(1)); });
+}
+
+}  // namespace squeezy

@@ -1,0 +1,20 @@
+#include "src/policy/squeezy_driver.h"
+
+#include "src/core/squeezy.h"
+
+namespace squeezy {
+
+uint64_t SqueezyDriver::HotplugRegionBytes(const DriverSizing& s) const {
+  SqueezyConfig scfg;
+  scfg.partition_bytes = s.plug_unit;
+  scfg.nr_partitions = s.max_concurrency;
+  scfg.shared_bytes = s.deps_region;
+  return scfg.region_bytes();
+}
+
+void SqueezyDriver::OnVmBoot(int /*fn*/, uint64_t /*hotplug_region*/,
+                             uint64_t /*deps_region*/) {}
+
+void SqueezyDriver::OnUnplugIncomplete(int /*fn*/, uint64_t /*leftover*/) {}
+
+}  // namespace squeezy

@@ -1,0 +1,32 @@
+// kSqueezy: partition-aware plug/unplug (this paper).  Shares the dynamic
+// acquire path with vanilla virtio-mem; differs in device sizing (private
+// partitions + shared boot partition managed by SqueezyManager) and in
+// unplug semantics — an "incomplete" unplug means the drained partition
+// was re-assigned through the waitqueue (reuse-without-replug), so there
+// is never spare memory left behind.
+#ifndef SQUEEZY_POLICY_SQUEEZY_DRIVER_H_
+#define SQUEEZY_POLICY_SQUEEZY_DRIVER_H_
+
+#include "src/policy/virtio_mem_driver.h"
+
+namespace squeezy {
+
+class SqueezyDriver : public VirtioMemDriver {
+ public:
+  using VirtioMemDriver::VirtioMemDriver;
+
+  ReclaimPolicy policy() const override { return ReclaimPolicy::kSqueezy; }
+
+  uint64_t HotplugRegionBytes(const DriverSizing& s) const override;
+  bool UsesSqueezy() const override { return true; }
+
+  // The SqueezyManager plugs the shared partition in its constructor;
+  // nothing further to do at boot.
+  void OnVmBoot(int fn, uint64_t hotplug_region, uint64_t deps_region) override;
+  // Reuse-without-replug: nothing left over to bank as spare.
+  void OnUnplugIncomplete(int fn, uint64_t leftover) override;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_POLICY_SQUEEZY_DRIVER_H_

@@ -1,0 +1,45 @@
+#include "src/policy/static_driver.h"
+
+#include <cassert>
+
+#include "src/guest/guest_kernel.h"
+
+namespace squeezy {
+
+uint64_t StaticDriver::HotplugRegionBytes(const DriverSizing& s) const {
+  return static_cast<uint64_t>(s.max_concurrency) * s.plug_unit + s.deps_region;
+}
+
+uint64_t StaticDriver::BootCommitment(const DriverSizing& s) const {
+  // Over-provisioned: the whole hotplug region is committed up front.
+  return config_.vm_base_memory + HotplugRegionBytes(s);
+}
+
+void StaticDriver::OnVmBoot(int fn, uint64_t hotplug_region, uint64_t /*deps_region*/) {
+  // Everything plugged up front, and the host backing is warm (a
+  // long-running VM) unless the bench wants to watch the footprint grow.
+  const PlugOutcome all = host_->guest(fn).PlugMemory(hotplug_region, 0);
+  assert(all.complete);
+  (void)all;
+  if (config_.warm_static_backing) {
+    host_->guest(fn).WarmAllHostBacking(0);
+  }
+}
+
+void StaticDriver::Acquire(int /*fn*/, std::function<void(DurationNs)> ready) {
+  // Memory is always there; no VMM work on the cold path.
+  ready(0);
+}
+
+void StaticDriver::Release(int /*fn*/) {
+  // Nothing to reclaim; memory stays with the VM.
+}
+
+uint64_t StaticDriver::ProactiveReclaim(uint64_t /*bytes*/) { return 0; }
+
+void StaticDriver::OnDrain() {
+  // Routes stop arriving (the scheduler skips draining hosts) but the
+  // boot-time commitment is not reclaimable without killing the VM.
+}
+
+}  // namespace squeezy

@@ -1,0 +1,33 @@
+// kStatic: the over-provisioned baseline (paper §6.2.1).  The whole
+// hot-pluggable region is plugged and committed at boot, so scale-ups are
+// free and scale-downs reclaim nothing — maximum speed, minimum density.
+#ifndef SQUEEZY_POLICY_STATIC_DRIVER_H_
+#define SQUEEZY_POLICY_STATIC_DRIVER_H_
+
+#include "src/policy/reclaim_driver.h"
+
+namespace squeezy {
+
+class StaticDriver : public ReclaimDriver {
+ public:
+  using ReclaimDriver::ReclaimDriver;
+
+  ReclaimPolicy policy() const override { return ReclaimPolicy::kStatic; }
+
+  uint64_t HotplugRegionBytes(const DriverSizing& s) const override;
+  uint64_t BootCommitment(const DriverSizing& s) const override;
+
+  void OnVmBoot(int fn, uint64_t hotplug_region, uint64_t deps_region) override;
+  void Acquire(int fn, std::function<void(DurationNs)> ready) override;
+  void Release(int fn) override;
+  bool AlwaysAdmits() const override { return true; }
+
+  // A static VM's memory is permanently plugged: there is nothing the
+  // control plane can get back short of killing the VM.
+  uint64_t ProactiveReclaim(uint64_t bytes) override;
+  void OnDrain() override;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_POLICY_STATIC_DRIVER_H_

@@ -1,0 +1,64 @@
+#include "src/policy/virtio_mem_driver.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/guest/guest_kernel.h"
+#include "src/host/host_memory.h"
+#include "src/sim/event_queue.h"
+
+namespace squeezy {
+
+uint64_t VirtioMemDriver::HotplugRegionBytes(const DriverSizing& s) const {
+  // One flat hot-pluggable movable region sized for N instances plus the
+  // dependency page cache.
+  return static_cast<uint64_t>(s.max_concurrency) * s.plug_unit + s.deps_region;
+}
+
+uint64_t VirtioMemDriver::BootCommitment(const DriverSizing& s) const {
+  return config_.vm_base_memory + s.deps_region;
+}
+
+void VirtioMemDriver::OnVmBoot(int fn, uint64_t /*hotplug_region*/,
+                               uint64_t deps_region) {
+  const PlugOutcome deps = host_->guest(fn).PlugMemory(deps_region, 0);
+  assert(deps.complete);
+  (void)deps;
+}
+
+void VirtioMemDriver::Acquire(int fn, std::function<void(DurationNs)> ready) {
+  AcquireDynamic(fn, std::move(ready), 1);
+}
+
+void VirtioMemDriver::AcquireDynamic(int fn, std::function<void(DurationNs)> ready,
+                                     uint64_t starve_room_multiplier) {
+  if (host_->TryCancelQueuedUnplug(fn)) {
+    // An unplug for this VM is queued but not started: absorb it and
+    // reuse its (still plugged, still committed) memory directly.
+    GrantFast(std::move(ready));
+    return;
+  }
+  // Memory left behind by timed-out/partial unplugs is still plugged
+  // and committed: consume it first, plugging only the remainder.
+  const uint64_t unit = host_->plug_unit(fn);
+  const uint64_t from_spare = std::min(host_->spare_plugged(fn), unit);
+  const uint64_t need = unit - from_spare;
+  if (need == 0) {
+    host_->TakeSpare(fn, unit);
+    GrantFast(std::move(ready));
+    return;
+  }
+  if (host_->memory().TryReserve(need, host_->events().now())) {
+    host_->TakeSpare(fn, from_spare);
+    host_->PlugAndGrant(fn, need, std::move(ready));
+    return;
+  }
+  // Memory-starved: wait for scale-downs to release memory (§6.2.2).
+  host_->EnqueuePending(fn, std::move(ready));
+  host_->MakeRoom(unit * starve_room_multiplier);
+  host_->ArmPressureTick();
+}
+
+void VirtioMemDriver::Release(int fn) { host_->StartUnplug(fn); }
+
+}  // namespace squeezy

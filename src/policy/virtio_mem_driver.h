@@ -1,0 +1,36 @@
+// kVirtioMem: vanilla virtio-mem unplug on one flat movable region.
+// Scale-downs unplug immediately; unplugs migrate + zero pages and can
+// time out, leaving spare plugged memory behind.  Also the base class for
+// SqueezyDriver and HarvestDriver, which share its dynamic acquire path.
+#ifndef SQUEEZY_POLICY_VIRTIO_MEM_DRIVER_H_
+#define SQUEEZY_POLICY_VIRTIO_MEM_DRIVER_H_
+
+#include "src/policy/reclaim_driver.h"
+
+namespace squeezy {
+
+class VirtioMemDriver : public ReclaimDriver {
+ public:
+  using ReclaimDriver::ReclaimDriver;
+
+  ReclaimPolicy policy() const override { return ReclaimPolicy::kVirtioMem; }
+
+  uint64_t HotplugRegionBytes(const DriverSizing& s) const override;
+  uint64_t BootCommitment(const DriverSizing& s) const override;
+
+  void OnVmBoot(int fn, uint64_t hotplug_region, uint64_t deps_region) override;
+  void Acquire(int fn, std::function<void(DurationNs)> ready) override;
+  void Release(int fn) override;
+
+ protected:
+  // The shared dynamic scale-up path (kVirtioMem / kSqueezy / kHarvestOpts
+  // after its buffer miss): recycle a queued unplug, consume spare, plug
+  // the remainder, or park on the pending FIFO.  `starve_room_multiplier`
+  // scales the MakeRoom target when starving (HarvestVM over-reclaims 2x).
+  void AcquireDynamic(int fn, std::function<void(DurationNs)> ready,
+                      uint64_t starve_room_multiplier);
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_POLICY_VIRTIO_MEM_DRIVER_H_

@@ -124,6 +124,9 @@ int main() {
   CsvWriter csv("bench_results/fig11_cold_start.csv",
                 {"function", "model", "vmm_ms", "container_ms", "funcinit_ms", "exec_ms",
                  "total_ms", "footprint_mib"});
+  BenchJson json("fig11_cold_start");
+  json.SetColumns({"function", "model", "vmm_ms", "container_ms", "funcinit_ms",
+                   "exec_ms", "total_ms", "footprint_mib"});
 
   std::vector<double> speedups;
   std::vector<double> footprint_ratios;
@@ -146,14 +149,17 @@ int main() {
                     TablePrinter::Num(static_cast<double>(row.r->footprint) /
                                           static_cast<double>(MiB(1)),
                                       0)});
-      csv.AddRow({spec.name, row.model, TablePrinter::Num(ToMsec(c.vmm), 1),
-                  TablePrinter::Num(ToMsec(c.container_init), 1),
-                  TablePrinter::Num(ToMsec(c.function_init), 1),
-                  TablePrinter::Num(ToMsec(c.first_exec), 1),
-                  TablePrinter::Num(ToMsec(c.total()), 1),
-                  TablePrinter::Num(static_cast<double>(row.r->footprint) /
-                                        static_cast<double>(MiB(1)),
-                                    1)});
+      const std::vector<std::string> cells = {
+          spec.name, row.model, TablePrinter::Num(ToMsec(c.vmm), 1),
+          TablePrinter::Num(ToMsec(c.container_init), 1),
+          TablePrinter::Num(ToMsec(c.function_init), 1),
+          TablePrinter::Num(ToMsec(c.first_exec), 1),
+          TablePrinter::Num(ToMsec(c.total()), 1),
+          TablePrinter::Num(static_cast<double>(row.r->footprint) /
+                                static_cast<double>(MiB(1)),
+                            1)};
+      csv.AddRow(cells);
+      json.AddRow(cells);
     }
     table.AddRule();
     speedups.push_back(static_cast<double>(one1.mean.total()) /
@@ -167,10 +173,16 @@ int main() {
   for (const double s : speedups) {
     max_speedup = std::max(max_speedup, s);
   }
+  json.Metric("coldstart_speedup_geomean", Geomean(speedups));
+  json.Metric("coldstart_speedup_max", max_speedup);
+  json.Metric("footprint_inflation_geomean", Geomean(footprint_ratios));
+  json.Metric("paper_speedup_target", 1.6);
+  json.Metric("paper_footprint_target", 2.53);
+  const std::string json_path = json.Write();
   std::cout << "\nN:1 cold-start speedup over 1:1 (mean): " << Ratio(Geomean(speedups))
             << "  (paper: 1.6x, up to 2.35x; here max " << Ratio(max_speedup) << ")\n"
             << "1:1 footprint inflation (mean):         " << Ratio(Geomean(footprint_ratios))
             << "  (paper: 2.53x)\n"
-            << "CSV: bench_results/fig11_cold_start.csv\n";
+            << "CSV: bench_results/fig11_cold_start.csv\nJSON: " << json_path << "\n";
   return 0;
 }

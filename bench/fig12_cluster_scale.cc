@@ -2,7 +2,10 @@
 // multi-host operation — the 4 reclamation drivers (src/policy/) crossed
 // with the 4 cluster placement policies (src/cluster/), including the
 // placement–reclaim co-design policy kHintedBinPack, plus a host-drain
-// scenario driven through the HostControl plane.
+// scenario driven through the HostControl plane — crossed reap-vs-migrate
+// (MigrationPlanner live-migrates the victim's warm replicas, trading a
+// state transfer priced by CostModel::StateTransfer for the cold starts
+// the reap-only drain pays).
 //
 // Setup: K hosts, the paper's four functions replicated cluster-wide, a
 // Zipf-skewed Azure-style churn trace (src/trace/cluster_trace.*), and
@@ -27,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/fig12_config.h"
 #include "src/cluster/cluster.h"
 #include "src/faas/function.h"
 #include "src/metrics/csv.h"
@@ -36,24 +40,14 @@
 namespace squeezy {
 namespace {
 
-constexpr size_t kHosts = 4;
-constexpr uint32_t kConcurrency = 8;
-constexpr TimeNs kDuration = Minutes(8);
-constexpr TimeNs kHorizon = Minutes(10);  // Drain window after the trace.
-constexpr uint64_t kSeed = 2026;
-
-ClusterTraceConfig TraceConfig() {
-  ClusterTraceConfig t;
-  t.duration = kDuration;
-  t.nr_functions = static_cast<int32_t>(PaperFunctions().size());
-  t.total_base_rate_per_sec = 3.0;
-  t.zipf_s = 1.1;
-  t.bursty_fraction = 0.5;
-  t.burst_multiplier = 25.0;
-  t.mean_burst_len = Sec(25);
-  t.mean_gap = Sec(70);
-  return t;
-}
+// Shared with tests/fig12_regression_test.cc (which locks this sweep's
+// recorded headline constants) — all knobs live in bench/fig12_config.h.
+using fig12::kConcurrency;
+using fig12::kDuration;
+using fig12::kHorizon;
+using fig12::kHosts;
+using fig12::kSeed;
+using fig12::TraceConfig;
 
 struct ComboResult {
   ReclaimPolicy reclaim;
@@ -65,16 +59,7 @@ struct ComboResult {
 ComboResult RunCombo(ReclaimPolicy reclaim, PlacementPolicy placement,
                      uint64_t host_capacity, size_t hosts, uint64_t* trace_size,
                      uint64_t* hints_fired = nullptr) {
-  ClusterConfig cfg;
-  cfg.nr_hosts = hosts;
-  cfg.placement = placement;
-  cfg.host.policy = reclaim;
-  cfg.host.host_capacity = host_capacity;
-  cfg.host.keep_alive = Sec(45);
-  cfg.host.unplug_timeout = Sec(1);
-  cfg.host.pressure_check_period = Msec(500);
-  cfg.host.seed = kSeed;
-  Cluster cluster(cfg);
+  Cluster cluster(fig12::SweepConfig(reclaim, placement, host_capacity, hosts));
 
   for (const FunctionSpec& spec : PaperFunctions()) {
     cluster.AddFunction(spec, kConcurrency);
@@ -99,24 +84,26 @@ ComboResult RunCombo(ReclaimPolicy reclaim, PlacementPolicy placement,
 
 // Host-drain scenario (HostControl plane): drain the most-committed host
 // mid-trace and report how long its committed book takes to return to the
-// boot-time commitment — reclamation speed IS maintenance speed.
+// boot-time commitment — reclamation speed IS maintenance speed — crossed
+// with what happens to the victim's warm replicas: reaped in place
+// (kReapOnDrain) or live-migrated to planner-chosen hosts
+// (kMigrateOnDrain), where the migrated warm state spares the fleet
+// post-drain cold starts.
 struct DrainResult {
   size_t drained_host = 0;
   uint64_t routed_before = 0;   // Routes to the host up to the drain.
   uint64_t routed_after = 0;    // Routes to it after (should be ~0 extra).
   double reclaim_seconds = -1;  // Drain -> committed back at boot commit.
+  uint64_t cold_after = 0;      // Fleet cold starts arriving post-drain.
+  uint64_t migrated = 0;        // Warm instances adopted by destinations.
+  uint64_t reaped = 0;          // Warm instances captured but dropped.
 };
 
-DrainResult RunDrain(ReclaimPolicy reclaim, uint64_t host_capacity) {
-  ClusterConfig cfg;
-  cfg.nr_hosts = kHosts;
-  cfg.placement = PlacementPolicy::kHintedBinPack;
-  cfg.host.policy = reclaim;
-  cfg.host.host_capacity = host_capacity;
-  cfg.host.keep_alive = Sec(45);
+DrainResult RunDrain(ReclaimPolicy reclaim, MigrationMode mode, uint64_t host_capacity) {
+  ClusterConfig cfg =
+      fig12::SweepConfig(reclaim, PlacementPolicy::kHintedBinPack, host_capacity);
+  cfg.migration = mode;
   cfg.host.unplug_timeout = Sec(5);
-  cfg.host.pressure_check_period = Msec(500);
-  cfg.host.seed = kSeed;
   Cluster cluster(cfg);
   uint64_t boot_commit = 0;
   for (const FunctionSpec& spec : PaperFunctions()) {
@@ -139,6 +126,18 @@ DrainResult RunDrain(ReclaimPolicy reclaim, uint64_t host_capacity) {
   cluster.DrainHost(victim);
   cluster.RunUntil(kHorizon);
   r.routed_after = cluster.routed_to(victim) - r.routed_before;
+  r.migrated = cluster.migrated_instances();
+  r.reaped = cluster.migration_reaped_instances();
+  // Cold-start executions whose request arrived after the drain: the cost
+  // of the warm state the drain threw away (or saved, under migration).
+  for (size_t h = 0; h < cluster.host_count(); ++h) {
+    for (size_t fn = 0; fn < cluster.host(h).function_count(); ++fn) {
+      for (const RequestRecord& rec :
+           cluster.host(h).agent(static_cast<int>(fn)).requests()) {
+        r.cold_after += (rec.cold && rec.arrival >= drain_at);
+      }
+    }
+  }
   // First instant after the drain where the host's committed book was back
   // at its boot-time commitment (every replica lives on every host here).
   for (const StepSeries::Point& p :
@@ -168,7 +167,8 @@ int main() {
                                         PlacementPolicy::kRoundRobin, GiB(512),
                                         kHosts, &trace_size);
   const uint64_t abundant_peak_per_host = abundant.fleet.committed_peak / kHosts;
-  const uint64_t cap = static_cast<uint64_t>(0.62 * static_cast<double>(abundant_peak_per_host));
+  const uint64_t cap = static_cast<uint64_t>(fig12::kCapacityFraction *
+                                             static_cast<double>(abundant_peak_per_host));
   std::cout << "Hosts: " << kHosts << ", trace: " << trace_size
             << " invocations over " << TablePrinter::Num(ToSec(kDuration) / 60.0, 0)
             << " min\nAbundant fleet committed peak: "
@@ -252,26 +252,53 @@ int main() {
 
   // Host drain through the HostControl plane: the drained host stops
   // receiving routes and its committed memory comes back at the driver's
-  // reclamation speed.
-  std::cout << "\nHost drain at t=4min (most-committed host, HintedBinPack):\n";
-  TablePrinter drain_table({"Reclaim", "Host", "RoutedBefore", "RoutedAfter",
-                            "ReclaimSec"});
+  // reclamation speed — and under kMigrateOnDrain the victim's warm
+  // replicas are live-migrated to planner-chosen hosts instead of reaped,
+  // so the fleet pays fewer post-drain cold starts.
+  std::cout << "\nHost drain at t=4min (most-committed host, HintedBinPack), "
+               "reap vs migrate:\n";
+  TablePrinter drain_table({"Reclaim", "Mode", "Host", "RoutedBefore", "RoutedAfter",
+                            "ReclaimSec", "ColdAfter", "Migrated", "Reaped"});
+  bool drain_pass = true;
   for (const ReclaimPolicy rp : {ReclaimPolicy::kVirtioMem, ReclaimPolicy::kSqueezy}) {
-    const DrainResult d = RunDrain(rp, cap);
-    drain_table.AddRow({ReclaimPolicyName(rp),
-                        TablePrinter::Int(static_cast<int64_t>(d.drained_host)),
-                        TablePrinter::Int(static_cast<int64_t>(d.routed_before)),
-                        TablePrinter::Int(static_cast<int64_t>(d.routed_after)),
-                        TablePrinter::Num(d.reclaim_seconds)});
-    if (d.reclaim_seconds >= 0) {
-      json.Metric(std::string("drain_reclaim_sec_") + ReclaimPolicyName(rp),
-                  d.reclaim_seconds);
-    } else {
-      json.Text(std::string("drain_reclaim_sec_") + ReclaimPolicyName(rp),
-                "never (window ended first)");
+    uint64_t cold_reap = 0;
+    uint64_t cold_migrate = 0;
+    for (const MigrationMode mode :
+         {MigrationMode::kReapOnDrain, MigrationMode::kMigrateOnDrain}) {
+      const DrainResult d = RunDrain(rp, mode, cap);
+      drain_table.AddRow({ReclaimPolicyName(rp), MigrationModeName(mode),
+                          TablePrinter::Int(static_cast<int64_t>(d.drained_host)),
+                          TablePrinter::Int(static_cast<int64_t>(d.routed_before)),
+                          TablePrinter::Int(static_cast<int64_t>(d.routed_after)),
+                          TablePrinter::Num(d.reclaim_seconds),
+                          TablePrinter::Int(static_cast<int64_t>(d.cold_after)),
+                          TablePrinter::Int(static_cast<int64_t>(d.migrated)),
+                          TablePrinter::Int(static_cast<int64_t>(d.reaped))});
+      const std::string tag =
+          std::string(ReclaimPolicyName(rp)) + "_" + MigrationModeName(mode);
+      if (d.reclaim_seconds >= 0) {
+        json.Metric("drain_reclaim_sec_" + tag, d.reclaim_seconds);
+      } else {
+        json.Text("drain_reclaim_sec_" + tag, "never (window ended first)");
+      }
+      json.Metric("drain_cold_after_" + tag, d.cold_after);
+      json.Metric("drain_migrated_" + tag, d.migrated);
+      if (mode == MigrationMode::kReapOnDrain) {
+        cold_reap = d.cold_after;
+      } else {
+        cold_migrate = d.cold_after;
+      }
     }
+    json.Metric(std::string("drain_cold_starts_avoided_") + ReclaimPolicyName(rp),
+                cold_reap > cold_migrate ? cold_reap - cold_migrate : 0);
+    drain_pass = drain_pass && cold_migrate < cold_reap;
+    drain_table.AddRule();
   }
   drain_table.Print(std::cout);
+  std::cout << "Check: migrate-on-drain pays fewer post-drain cold starts than "
+               "reap-on-drain -> "
+            << (drain_pass ? "PASS" : "FAIL") << "\n";
+  json.Text("drain_migrate_check", drain_pass ? "PASS" : "FAIL");
 
   json.Metric("trace_invocations", trace_size);
   json.Metric("restricted_host_capacity_gib",
@@ -306,5 +333,5 @@ int main() {
   scale.Print(std::cout);
   const std::string json_path = json.Write();
   std::cout << "CSV: bench_results/fig12_cluster_scale.csv\nJSON: " << json_path << "\n";
-  return binpack_pass && hinted_pass ? 0 : 1;
+  return binpack_pass && hinted_pass && drain_pass ? 0 : 1;
 }

@@ -1,0 +1,61 @@
+// The fig12 cluster-scale experiment configuration, shared between
+// bench/fig12_cluster_scale.cc and tests/fig12_regression_test.cc.
+//
+// The regression test locks recorded constants (pending scale-ups,
+// admitted invocations) captured from the bench; both MUST run the exact
+// same configuration or the lock silently guards a stale setup.  Any
+// knob the two share lives here — edit it once and both move together.
+#ifndef SQUEEZY_BENCH_FIG12_CONFIG_H_
+#define SQUEEZY_BENCH_FIG12_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/cluster/cluster.h"
+#include "src/faas/function.h"
+#include "src/trace/cluster_trace.h"
+
+namespace squeezy {
+namespace fig12 {
+
+inline constexpr size_t kHosts = 4;
+inline constexpr uint32_t kConcurrency = 8;
+inline constexpr TimeNs kDuration = Minutes(8);
+inline constexpr TimeNs kHorizon = Minutes(10);  // Drain window after the trace.
+inline constexpr uint64_t kSeed = 2026;
+// Restricted per-host capacity = this fraction of the abundant-memory
+// fleet committed peak per host.
+inline constexpr double kCapacityFraction = 0.62;
+
+inline ClusterTraceConfig TraceConfig() {
+  ClusterTraceConfig t;
+  t.duration = kDuration;
+  t.nr_functions = static_cast<int32_t>(PaperFunctions().size());
+  t.total_base_rate_per_sec = 3.0;
+  t.zipf_s = 1.1;
+  t.bursty_fraction = 0.5;
+  t.burst_multiplier = 25.0;
+  t.mean_burst_len = Sec(25);
+  t.mean_gap = Sec(70);
+  return t;
+}
+
+// The sweep's cluster configuration (RunCombo).  The drain scenario
+// overrides unplug_timeout and migration mode on top of this.
+inline ClusterConfig SweepConfig(ReclaimPolicy reclaim, PlacementPolicy placement,
+                                 uint64_t host_capacity, size_t hosts = kHosts) {
+  ClusterConfig cfg;
+  cfg.nr_hosts = hosts;
+  cfg.placement = placement;
+  cfg.host.policy = reclaim;
+  cfg.host.host_capacity = host_capacity;
+  cfg.host.keep_alive = Sec(45);
+  cfg.host.unplug_timeout = Sec(1);
+  cfg.host.pressure_check_period = Msec(500);
+  cfg.host.seed = kSeed;
+  return cfg;
+}
+
+}  // namespace fig12
+}  // namespace squeezy
+
+#endif  // SQUEEZY_BENCH_FIG12_CONFIG_H_

@@ -16,7 +16,8 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
     raw.push_back(hosts_.back().get());
   }
   routed_.assign(config_.nr_hosts, 0);
-  scheduler_ = std::make_unique<ClusterScheduler>(config_.placement, std::move(raw));
+  scheduler_ = std::make_unique<ClusterScheduler>(config_.placement, raw);
+  planner_ = std::make_unique<MigrationPlanner>(std::move(raw), config_.host.cost);
 }
 
 Cluster::~Cluster() = default;
@@ -38,7 +39,92 @@ int Cluster::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency) {
     replicas.push_back(Replica{h, hosts_[h]->AddFunction(spec, max_concurrency)});
   }
   functions_.push_back(std::move(replicas));
+  fn_plug_unit_.push_back(plug_unit);
   return cluster_fn;
+}
+
+void Cluster::DrainHost(size_t h) {
+  if (config_.migration == MigrationMode::kMigrateOnDrain && !hosts_[h]->draining()) {
+    MigrateOff(h);
+  }
+  hosts_[h]->Drain();
+}
+
+size_t Cluster::MigratePressured() {
+  if (config_.migration != MigrationMode::kMigrateOnDrain) {
+    return 0;
+  }
+  const int victim = planner_->MostPressuredHost(config_.pressure_migrate_min_pending);
+  if (victim < 0) {
+    return 0;
+  }
+  return MigrateOff(static_cast<size_t>(victim));
+}
+
+size_t Cluster::MigrateOff(size_t src) {
+  size_t started = 0;
+  for (size_t fn = 0; fn < functions_.size(); ++fn) {
+    const std::vector<Replica>& reps = functions_[fn];
+    int src_idx = -1;
+    for (size_t i = 0; i < reps.size(); ++i) {
+      if (reps[i].host == src) {
+        src_idx = static_cast<int>(i);
+      }
+    }
+    if (src_idx < 0) {
+      continue;
+    }
+    // Source half: capture + evict the warm state.  The donor's committed
+    // book starts shrinking NOW through its reclaim driver, concurrently
+    // with the transfer — exactly like pre-copy with the VM still up.
+    const ReplicaMigrationState state =
+        hosts_[src]->EvictReplica(reps[static_cast<size_t>(src_idx)].local_fn);
+    if (state.warm_instances == 0) {
+      continue;
+    }
+    // Walk the planner's ranking until a destination actually adopts: a
+    // well-scored host can still be concurrency-saturated, and only what
+    // it will REALLY take gets sized, priced and shipped — dropped
+    // instances never inflate the transfer time or the wire bytes.
+    const std::vector<size_t> ranked = planner_->RankDestinations(
+        src, reps, fn_plug_unit_[fn], state.warm_instances);
+    size_t adopted = 0;
+    for (const size_t dst_idx : ranked) {
+      const Replica& dst = reps[dst_idx];
+      const size_t planned =
+          hosts_[dst.host]->AdoptableReplicas(dst.local_fn, state.warm_instances);
+      if (planned == 0) {
+        continue;
+      }
+      ReplicaMigrationState subset = state;
+      subset.warm_instances = planned;
+      subset.state_bytes = state.state_bytes * planned / state.warm_instances;
+      const StateTransferCost cost = planner_->TransferCost(subset);
+      const TimeNs done_at = events_.now() + cost.total();
+      adopted = hosts_[dst.host]->AdoptReplica(dst.local_fn, subset, done_at);
+      if (adopted == 0) {
+        continue;
+      }
+      MigrationRecord rec;
+      rec.cluster_fn = static_cast<int>(fn);
+      rec.src_host = src;
+      rec.dst_host = dst.host;
+      rec.captured = state.warm_instances;
+      rec.adopted = adopted;
+      rec.bytes_sent = cost.bytes_sent;
+      rec.downtime = cost.downtime;
+      rec.started_at = events_.now();
+      rec.done_at = done_at;
+      migrations_.push_back(rec);
+      ++in_flight_migrations_;
+      events_.ScheduleAt(done_at, [this] { --in_flight_migrations_; });
+      ++started;
+      break;
+    }
+    migrated_instances_ += adopted;
+    migration_reaped_instances_ += state.warm_instances - adopted;
+  }
+  return started;
 }
 
 void Cluster::SubmitTrace(const std::vector<Invocation>& trace) {
@@ -89,6 +175,8 @@ FleetSummary Cluster::Summarize(TimeNs horizon) const {
     s.unplug_failures += h->total_unplug_failures();
   }
   s.unplaced_invocations = unplaced_;
+  s.migrations = migrations_.size();
+  s.migrated_instances = migrated_instances_;
   const LatencyRecorder fleet = MergeLatencies(recorders);
   if (!fleet.empty()) {
     s.latency_p50 = fleet.Percentile(50);

@@ -14,8 +14,13 @@
 // single-host experiment keeps working unchanged.
 //
 // Maintenance: DrainHost(h) flips host h into draining — the scheduler
-// stops routing to its replicas, its idle instances are reaped and their
-// memory unplugged per the host's reclaim driver; UndrainHost reverses.
+// stops routing to its replicas, and its live replicas are either reaped
+// in place (kReapOnDrain, PR 2 behavior) or live-migrated to destination
+// hosts picked by the MigrationPlanner (kMigrateOnDrain): warm state is
+// captured and evicted on the source (commitment returns through the
+// source's reclaim driver), priced by the CostModel's pre-copy transfer
+// model, and re-created warm at the destination through the normal
+// CanAdmit admission sizing.  UndrainHost reverses the drain.
 #ifndef SQUEEZY_CLUSTER_CLUSTER_H_
 #define SQUEEZY_CLUSTER_CLUSTER_H_
 
@@ -23,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/cluster/migration_planner.h"
 #include "src/cluster/scheduler.h"
 #include "src/faas/runtime.h"
 #include "src/metrics/fleet.h"
@@ -40,6 +46,11 @@ struct ClusterConfig {
   RuntimeConfig host;
   // Replica VMs per function; 0 = one replica on every host.
   size_t replicas_per_function = 0;
+  // What happens to a draining/pressured host's warm replicas.
+  MigrationMode migration = MigrationMode::kReapOnDrain;
+  // MigratePressured: minimum pending scale-ups before a host is treated
+  // as under sustained pressure.
+  size_t pressure_migrate_min_pending = 4;
 };
 
 class Cluster {
@@ -74,8 +85,27 @@ class Cluster {
   }
 
   // --- Maintenance (the HostControl plane, fleet-side) -----------------------------
-  void DrainHost(size_t h) { hosts_[h]->Drain(); }
+  // Under kMigrateOnDrain, live-migrates the host's warm replicas to
+  // planner-chosen destinations before flipping it into draining.
+  void DrainHost(size_t h);
   void UndrainHost(size_t h) { hosts_[h]->Undrain(); }
+  // One pressure-relief pass (kMigrateOnDrain only): if some host is
+  // starving scale-ups (>= config.pressure_migrate_min_pending pending),
+  // migrate its warm-but-idle replicas to hosts with headroom, freeing the
+  // donor's commitment for the work it is actually serving.  Returns the
+  // migrations started.
+  size_t MigratePressured();
+
+  // --- Migration introspection ------------------------------------------------------
+  MigrationPlanner& planner() { return *planner_; }
+  const std::vector<MigrationRecord>& migrations() const { return migrations_; }
+  // Transfers started whose completion instant has not passed yet.
+  uint64_t migrations_in_flight() const { return in_flight_migrations_; }
+  // Warm instances that landed on (were admitted by) destination hosts.
+  uint64_t migrated_instances() const { return migrated_instances_; }
+  // Warm instances captured off donors but dropped (no destination fit or
+  // the destination's admission ran out) — these cost future cold starts.
+  uint64_t migration_reaped_instances() const { return migration_reaped_instances_; }
 
   // Invocations routed to host h so far.
   uint64_t routed_to(size_t h) const { return routed_[h]; }
@@ -94,13 +124,21 @@ class Cluster {
 
  private:
   void Dispatch(int cluster_fn);
+  // Migrates every warm replica off host `src`; returns transfers started.
+  size_t MigrateOff(size_t src);
 
   ClusterConfig config_;
   EventQueue events_;
   std::vector<std::unique_ptr<FaasRuntime>> hosts_;
   std::unique_ptr<ClusterScheduler> scheduler_;
+  std::unique_ptr<MigrationPlanner> planner_;
   std::vector<std::vector<Replica>> functions_;
+  std::vector<uint64_t> fn_plug_unit_;  // Destination sizing per function.
   std::vector<uint64_t> routed_;
+  std::vector<MigrationRecord> migrations_;
+  uint64_t in_flight_migrations_ = 0;
+  uint64_t migrated_instances_ = 0;
+  uint64_t migration_reaped_instances_ = 0;
   uint64_t unplaced_ = 0;
   uint64_t routing_hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
 };

@@ -1,0 +1,73 @@
+#include "src/cluster/migration_planner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace squeezy {
+
+MigrationPlanner::MigrationPlanner(std::vector<HostControl*> hosts, const CostModel& cost)
+    : hosts_(std::move(hosts)), cost_(cost) {
+  assert(!hosts_.empty());
+}
+
+std::vector<size_t> MigrationPlanner::RankDestinations(
+    size_t src_host, const std::vector<Replica>& replicas, uint64_t unit_bytes,
+    size_t wanted) const {
+  ++plans_considered_;
+  struct Candidate {
+    size_t idx;
+    bool fits_all;
+    uint64_t committed;
+  };
+  std::vector<Candidate> cands;
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    const size_t h = replicas[i].host;
+    if (h == src_host) {
+      continue;
+    }
+    const HostSnapshot s = hosts_[h]->Snapshot();
+    if (s.draining || s.available < unit_bytes) {
+      continue;  // Cannot take even one instance's commitment.
+    }
+    cands.push_back(Candidate{i, s.available >= wanted * unit_bytes, s.committed});
+  }
+  // Bin-pack flavor, same as placement: pack the incoming state onto the
+  // most committed host that still fits the whole move, partial fits
+  // after, keeping the fleet tail free for spikes.  stable_sort keeps
+  // exact ties at the lowest host index (deterministic).
+  std::stable_sort(cands.begin(), cands.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.fits_all != b.fits_all) {
+      return a.fits_all;
+    }
+    return a.committed > b.committed;
+  });
+  std::vector<size_t> ranked;
+  ranked.reserve(cands.size());
+  for (const Candidate& c : cands) {
+    ranked.push_back(c.idx);
+  }
+  return ranked;
+}
+
+int MigrationPlanner::MostPressuredHost(size_t min_pending) const {
+  int victim = -1;
+  size_t worst = min_pending > 0 ? min_pending - 1 : 0;
+  for (size_t h = 0; h < hosts_.size(); ++h) {
+    const HostSnapshot s = hosts_[h]->Snapshot();
+    if (s.draining) {
+      continue;
+    }
+    if (s.pending_scaleups > worst) {
+      worst = s.pending_scaleups;
+      victim = static_cast<int>(h);
+    }
+  }
+  return victim;
+}
+
+StateTransferCost MigrationPlanner::TransferCost(const ReplicaMigrationState& state) const {
+  return cost_.StateTransfer(state.transfer_bytes(),
+                             cost_.migrate_dirty_frac * state.busy_fraction);
+}
+
+}  // namespace squeezy

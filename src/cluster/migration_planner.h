@@ -1,0 +1,85 @@
+// Live replica migration planning (the fleet's maintenance decision plane).
+//
+// When a host drains — or sits under sustained memory pressure — its warm
+// replicas hold exactly the state the paper works to keep cheap: faulted
+// working sets and hot dependency caches.  PR 2's drain path reaped them
+// and paid cold starts elsewhere.  The MigrationPlanner instead selects
+// victim replicas and destination hosts, judging every candidate from one
+// consistent HostControl::Snapshot with the same bin-pack scoring the
+// scheduler uses for placement (most committed host that still fits, ties
+// to the lowest index), and prices the move with the CostModel's pre-copy
+// state-transfer model: cost scales with the replica's touched footprint
+// and its dirty rate (busy fraction at capture), not a flat constant.
+//
+// The planner only decides; the Cluster executes — EvictReplica on the
+// source (commitment returns through the source's reclaim driver, so a
+// Squeezy donor frees memory at Squeezy speed) and AdoptReplica on the
+// destination (admission through the normal CanAdmit sizing).
+#ifndef SQUEEZY_CLUSTER_MIGRATION_PLANNER_H_
+#define SQUEEZY_CLUSTER_MIGRATION_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/scheduler.h"
+#include "src/faas/host_control.h"
+#include "src/sim/cost_model.h"
+
+namespace squeezy {
+
+// One executed replica move, recorded by the Cluster for metrics/tests.
+struct MigrationRecord {
+  int cluster_fn = -1;
+  size_t src_host = 0;
+  size_t dst_host = 0;
+  size_t captured = 0;        // Warm instances captured at the source.
+  size_t adopted = 0;         // Instances the destination admitted.
+  uint64_t bytes_sent = 0;    // Wire bytes incl. resent dirty state.
+  DurationNs downtime = 0;    // Stop-and-copy pause.
+  TimeNs started_at = 0;
+  TimeNs done_at = 0;         // Instant the adopted instances turn warm.
+};
+
+class MigrationPlanner {
+ public:
+  // `hosts` must outlive the planner (same contract as ClusterScheduler).
+  MigrationPlanner(std::vector<HostControl*> hosts, const CostModel& cost);
+
+  // Destination candidates for migrating `wanted` warm instances (of
+  // `unit_bytes` each) off `src_host`: indices into `replicas` (the
+  // function's replica set), best first.  Reuses the bin-pack scoring
+  // through one Snapshot per candidate — non-draining hosts other than
+  // the source with headroom for at least one unit, hosts that fit the
+  // whole move before partial fits, most committed first within each
+  // class, ties to the lowest host index.  The caller walks the ranking
+  // and settles on the first host that actually adopts (a well-placed
+  // candidate can still be concurrency-saturated — AdoptableReplicas
+  // decides, not the snapshot).
+  std::vector<size_t> RankDestinations(size_t src_host,
+                                       const std::vector<Replica>& replicas,
+                                       uint64_t unit_bytes, size_t wanted) const;
+
+  // The non-draining host with the most memory-starved scale-ups right
+  // now (at least `min_pending`); -1 when no host qualifies.  The victim
+  // of pressure-triggered migration: moving its warm-but-idle replicas
+  // elsewhere frees commitment for the scale-ups it is starving on,
+  // without throwing the warm state away.
+  int MostPressuredHost(size_t min_pending) const;
+
+  // Prices one state transfer: pre-copy + stop-and-copy over the touched
+  // footprint, the per-round redirty fraction scaled by the replica's
+  // busy fraction at capture.
+  StateTransferCost TransferCost(const ReplicaMigrationState& state) const;
+
+  uint64_t plans_considered() const { return plans_considered_; }
+
+ private:
+  std::vector<HostControl*> hosts_;
+  CostModel cost_;
+  mutable uint64_t plans_considered_ = 0;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_CLUSTER_MIGRATION_PLANNER_H_

@@ -20,6 +20,16 @@ const char* PlacementPolicyName(PlacementPolicy p) {
   return "?";
 }
 
+const char* MigrationModeName(MigrationMode m) {
+  switch (m) {
+    case MigrationMode::kReapOnDrain:
+      return "ReapOnDrain";
+    case MigrationMode::kMigrateOnDrain:
+      return "MigrateOnDrain";
+  }
+  return "?";
+}
+
 ClusterScheduler::ClusterScheduler(PlacementPolicy policy, std::vector<HostControl*> hosts)
     : policy_(policy), hosts_(std::move(hosts)) {
   assert(!hosts_.empty());

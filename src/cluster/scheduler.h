@@ -62,6 +62,23 @@ enum class PlacementPolicy : uint8_t {
 
 const char* PlacementPolicyName(PlacementPolicy p);
 
+// What happens to a draining (or pressured) host's live replicas:
+//   kReapOnDrain    — evict them in place; their warm state is lost and
+//                     re-routed invocations pay cold starts elsewhere.
+//   kMigrateOnDrain — live-migrate warm replicas to destination hosts
+//                     picked by the MigrationPlanner (bin-pack scoring
+//                     over HostControl snapshots); the donor's commitment
+//                     still drains at its reclaim driver's speed, but the
+//                     warm state survives and post-drain invocations stay
+//                     warm.  Also enables pressure-triggered migration
+//                     (Cluster::MigratePressured).
+enum class MigrationMode : uint8_t {
+  kReapOnDrain,
+  kMigrateOnDrain,
+};
+
+const char* MigrationModeName(MigrationMode m);
+
 // One replica of a cluster function: the VM registered on hosts[host] as
 // local function index local_fn.
 struct Replica {

@@ -310,6 +310,67 @@ void Agent::Evict(int32_t instance_id) {
   callbacks_.release_memory();
 }
 
+Agent::WarmCapture Agent::CaptureAndEvictIdle() {
+  WarmCapture cap;
+  for (const auto& inst : instances_) {
+    if (inst->state != InstanceState::kIdle) {
+      continue;
+    }
+    ++cap.instances;
+    // A fully-warmed instance's transferable state is its whole working
+    // set; one still in its first lifetime has only touched the init part.
+    cap.anon_bytes +=
+        inst->first_exec_done ? spec_.anon_working_set : inst->anon_touched;
+  }
+  while (EvictOldestIdle()) {
+  }
+  return cap;
+}
+
+void Agent::AdoptWarmInstance(uint64_t anon_bytes, TimeNs available_at) {
+  const int32_t id = static_cast<int32_t>(instances_.size());
+  instances_.push_back(std::make_unique<Instance>());
+  instance(id).id = id;
+  instance(id).state = InstanceState::kWaitingMemory;
+  ++spawns_;
+  instance_series_.Push(events_->now(), static_cast<double>(live_instances()));
+  callbacks_.acquire_memory([this, id, anon_bytes, available_at](DurationNs vmm_latency) {
+    Instance& inst = instance(id);
+    assert(inst.state == InstanceState::kWaitingMemory);
+    inst.cold.vmm = vmm_latency;
+    inst.state = InstanceState::kColdStart;  // Transient: restoring state.
+    inst.pid = guest_->CreateProcess();
+    guest_->process(inst.pid).MapFile(deps_file_);
+    if (config_.use_squeezy) {
+      sqz_->SqueezyEnableAsync(
+          inst.pid,
+          [this, id, anon_bytes, available_at](int32_t) {
+            RestoreWarmState(id, anon_bytes, available_at);
+          });
+    } else {
+      RestoreWarmState(id, anon_bytes, available_at);
+    }
+  });
+}
+
+void Agent::RestoreWarmState(int32_t instance_id, uint64_t anon_bytes,
+                             TimeNs available_at) {
+  Instance& inst = instance(instance_id);
+  // Fault the transferred anonymous state back in; dependency pages come
+  // through the shared guest page cache as for any instance.
+  const TouchResult anon = guest_->TouchAnon(inst.pid, anon_bytes, events_->now());
+  if (anon.oom) {
+    inst.state = InstanceState::kEvicted;
+    instance_series_.Push(events_->now(), static_cast<double>(live_instances()));
+    callbacks_.release_memory();
+    return;
+  }
+  inst.anon_touched = anon.bytes;
+  inst.first_exec_done = true;  // Warm: the next request is NOT a cold start.
+  const TimeNs ready = std::max(events_->now() + anon.latency, available_at);
+  events_->ScheduleAt(ready, [this, instance_id] { BecomeIdle(instance_id); });
+}
+
 TimeNs Agent::OldestIdleSince() const {
   TimeNs best = -1;
   for (const auto& inst : instances_) {

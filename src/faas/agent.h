@@ -86,6 +86,26 @@ class Agent {
   // memory pressure).  Returns false if no instance is idle.
   bool EvictOldestIdle();
 
+  // --- Live migration (replica state capture / restore) ---------------------------
+  // Warm state of every idle instance: how many there are and the
+  // anonymous bytes they had touched (fully-warmed instances count their
+  // whole working set).
+  struct WarmCapture {
+    size_t instances = 0;
+    uint64_t anon_bytes = 0;
+  };
+  // Captures the warm state and evicts those instances in one step
+  // (migration source path); each eviction releases memory through the
+  // normal release callback, so the commitment flows back at the host's
+  // reclaim-driver speed.  Busy instances are untouched.
+  WarmCapture CaptureAndEvictIdle();
+  // Re-creates one warm instance from migrated state (destination path):
+  // memory is acquired through the normal admission path, `anon_bytes` of
+  // transferred state are faulted back in, and the instance goes idle
+  // with its first execution already done — no cold-start phases — no
+  // earlier than `available_at` (the state-transfer completion instant).
+  void AdoptWarmInstance(uint64_t anon_bytes, TimeNs available_at);
+
   // Idle-since time of the longest-idle instance, or -1 if none is idle.
   TimeNs OldestIdleSince() const;
 
@@ -146,6 +166,7 @@ class Agent {
   void StartExec(int32_t instance_id, TimeNs arrival);
   void ScheduleKeepAlive(int32_t instance_id);
   void Evict(int32_t instance_id);
+  void RestoreWarmState(int32_t instance_id, uint64_t anon_bytes, TimeNs available_at);
 
   Instance& instance(int32_t id) { return *instances_[static_cast<size_t>(id)]; }
 

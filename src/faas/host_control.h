@@ -4,16 +4,36 @@
 // scheduler reads ONE consistent HostSnapshot per routing decision (no
 // torn committed/admit reads), and can drive reclamation on the data
 // plane — ProactiveReclaim before routing a burst at a donor host,
-// Drain/Undrain for maintenance.  FaasRuntime implements it; the cluster
-// layer (src/cluster/) holds hosts only through HostControl*, so
-// alternative host implementations (remote agents, mocks) slot in.
+// Drain/Undrain for maintenance, and the EvictReplica/AdoptReplica pair
+// for live replica migration (src/cluster/migration_planner.h).
+// FaasRuntime implements it; the cluster layer (src/cluster/) holds hosts
+// only through HostControl*, so alternative host implementations (remote
+// agents, mocks) slot in.
 #ifndef SQUEEZY_FAAS_HOST_CONTROL_H_
 #define SQUEEZY_FAAS_HOST_CONTROL_H_
 
 #include <cstddef>
 #include <cstdint>
 
+#include "src/sim/time.h"
+
 namespace squeezy {
+
+// Warm state captured off a replica by EvictReplica — everything a
+// migration needs to size the transfer and re-create the instances at the
+// destination.  state_bytes is the anonymous state the live instances had
+// actually touched (the committed footprint that must cross the wire) and
+// deps_bytes the shared dependency/page-cache image transferred once per
+// replica; busy_fraction at capture time is the dirty-rate proxy the
+// CostModel scales its per-round redirty fraction by.
+struct ReplicaMigrationState {
+  size_t warm_instances = 0;
+  uint64_t state_bytes = 0;
+  uint64_t deps_bytes = 0;
+  double busy_fraction = 0;
+
+  uint64_t transfer_bytes() const { return state_bytes + deps_bytes; }
+};
 
 // One consistent view of a host at a routing instant.
 struct HostSnapshot {
@@ -48,6 +68,29 @@ class HostControl {
   // can_admit == false) and reclaims aggressively until Undrain().
   virtual void Drain() = 0;
   virtual void Undrain() = 0;
+
+  // --- Live replica migration (source / destination halves) ----------------
+  // Source half: captures the warm (idle) state of local function
+  // `local_fn` and evicts those instances, so the commitment they held
+  // flows back through the host's active reclaim driver (Squeezy donors
+  // free memory at Squeezy speed).  Busy instances are left to finish —
+  // only idle state migrates.
+  virtual ReplicaMigrationState EvictReplica(int local_fn) = 0;
+  // How many of `wanted` warm instances of `local_fn` this host could
+  // admit right now (concurrency headroom + memory, mirroring the
+  // AdoptReplica loop).  A pure query: the planner sizes and prices the
+  // transfer against the instances that will actually move, and skips
+  // hosts that would adopt nothing.
+  virtual size_t AdoptableReplicas(int local_fn, size_t wanted) const = 0;
+  // Destination half: re-creates up to `state.warm_instances` warm
+  // instances of `local_fn`, each admitted through the host's normal
+  // CanAdmit sizing (memory reserved and plugged NOW, like any scale-up).
+  // The instances become serveable only at `available_at` — the instant
+  // the state transfer completes.  Returns how many instances the host
+  // actually admitted (fewer when memory or concurrency run out; the
+  // remainder stays evicted and costs a future cold start).
+  virtual size_t AdoptReplica(int local_fn, const ReplicaMigrationState& state,
+                              TimeNs available_at) = 0;
 };
 
 }  // namespace squeezy

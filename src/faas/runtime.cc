@@ -256,6 +256,19 @@ void FaasRuntime::PressureTick() {
   }
 }
 
+bool FaasRuntime::HasMemoryForFresh(int fn) const {
+  const VmBundle& b = *vms_[static_cast<size_t>(fn)];
+  if (driver_->AlwaysAdmits()) {
+    return true;  // Everything is pre-plugged.
+  }
+  // Plugged-but-uncommitted-elsewhere memory this VM can reuse instantly.
+  const uint64_t reusable = driver_->ReusablePlugged(fn);
+  if (reusable >= b.plug_unit) {
+    return true;
+  }
+  return host_.available() >= b.plug_unit - std::min(reusable, b.plug_unit);
+}
+
 bool FaasRuntime::CanAdmit(int fn) const {
   if (draining_) {
     return false;  // A draining host takes no new work.
@@ -267,15 +280,7 @@ bool FaasRuntime::CanAdmit(int fn) const {
   if (b.agent->live_instances() >= b.max_concurrency) {
     return false;  // The N:1 VM is saturated; the request would queue.
   }
-  if (driver_->AlwaysAdmits()) {
-    return true;  // Everything is pre-plugged.
-  }
-  // Plugged-but-uncommitted-elsewhere memory this VM can reuse instantly.
-  const uint64_t reusable = driver_->ReusablePlugged(fn);
-  if (reusable >= b.plug_unit) {
-    return true;
-  }
-  return host_.available() >= b.plug_unit - std::min(reusable, b.plug_unit);
+  return HasMemoryForFresh(fn);
 }
 
 // --- HostControl -------------------------------------------------------------------
@@ -309,6 +314,76 @@ void FaasRuntime::Drain() {
 }
 
 void FaasRuntime::Undrain() { draining_ = false; }
+
+ReplicaMigrationState FaasRuntime::EvictReplica(int local_fn) {
+  VmBundle& b = vm(local_fn);
+  ReplicaMigrationState s;
+  s.busy_fraction = b.max_concurrency > 0
+                        ? static_cast<double>(b.agent->busy_instances()) /
+                              static_cast<double>(b.max_concurrency)
+                        : 0.0;
+  const Agent::WarmCapture cap = b.agent->CaptureAndEvictIdle();
+  s.warm_instances = cap.instances;
+  s.state_bytes = cap.anon_bytes;
+  // The shared dependency image crosses the wire once per replica, and
+  // only when there is warm state worth moving at all.
+  s.deps_bytes = cap.instances > 0 ? b.spec.file_deps_bytes : 0;
+  return s;
+}
+
+size_t FaasRuntime::AdoptableReplicas(int local_fn, size_t wanted) const {
+  if (draining_ || wanted == 0) {
+    return 0;
+  }
+  const VmBundle& b = *vms_[static_cast<size_t>(local_fn)];
+  const size_t live = b.agent->live_instances();
+  if (live >= b.max_concurrency) {
+    return 0;
+  }
+  const size_t cap = std::min<size_t>(wanted, b.max_concurrency - live);
+  if (driver_->AlwaysAdmits()) {
+    return cap;
+  }
+  // Walk the same books the adoption loop will consume: the driver's
+  // reusable plugged pool first (spare, cancellable unplugs, slack
+  // buffers), then free commitment for the remainder of each unit.
+  uint64_t reusable = driver_->ReusablePlugged(local_fn);
+  uint64_t avail = host_.available();
+  size_t n = 0;
+  while (n < cap) {
+    const uint64_t from_reuse = std::min(reusable, b.plug_unit);
+    const uint64_t need = b.plug_unit - from_reuse;
+    if (avail < need) {
+      break;
+    }
+    reusable -= from_reuse;
+    avail -= need;
+    ++n;
+  }
+  return n;
+}
+
+size_t FaasRuntime::AdoptReplica(int local_fn, const ReplicaMigrationState& state,
+                                 TimeNs available_at) {
+  if (draining_ || state.warm_instances == 0) {
+    return 0;
+  }
+  VmBundle& b = vm(local_fn);
+  const uint64_t per_instance = state.state_bytes / state.warm_instances;
+  size_t adopted = 0;
+  // Each adoption is admission-checked like a fresh scale-up (the
+  // warm-reuse shortcut does not apply: an adopted instance always needs
+  // its own plug unit) and then acquires through the driver, which
+  // reserves host commitment synchronously — so the loop condition stays
+  // accurate as instances land.
+  while (adopted < state.warm_instances &&
+         b.agent->live_instances() < b.max_concurrency && HasMemoryForFresh(local_fn)) {
+    b.agent->AdoptWarmInstance(per_instance, available_at);
+    ++adopted;
+  }
+  adopted_instances_ += adopted;
+  return adopted;
+}
 
 void FaasRuntime::DrainTick() {
   drain_tick_armed_ = false;

@@ -116,6 +116,23 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   uint64_t ProactiveReclaim(uint64_t bytes) override;
   void Drain() override;
   void Undrain() override;
+  // Migration source: captures fn's warm idle state and evicts those
+  // instances, so their commitment flows back through the active reclaim
+  // driver (a Squeezy donor frees memory at Squeezy speed).
+  ReplicaMigrationState EvictReplica(int local_fn) override;
+  // How many of `wanted` warm instances could be adopted right now:
+  // concurrency headroom, then plug units payable from the driver's
+  // reusable plugged pool plus free commitment (same books AdoptReplica
+  // consumes, without mutating them).
+  size_t AdoptableReplicas(int local_fn, size_t wanted) const override;
+  // Migration destination: re-creates up to state.warm_instances warm
+  // instances, each sized through the normal fresh-instance admission
+  // check (no warm-reuse shortcut — adoption always needs new memory).
+  // Returns the number actually admitted.
+  size_t AdoptReplica(int local_fn, const ReplicaMigrationState& state,
+                      TimeNs available_at) override;
+  // Warm instances adopted from migrations so far (destination side).
+  uint64_t total_adopted_instances() const { return adopted_instances_; }
 
  private:
   struct VmBundle {
@@ -176,6 +193,11 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   uint64_t MakeRoom(uint64_t needed) override;
   size_t ReapAllIdle() override;
 
+  // Whether a NEW instance of fn could secure its plug unit right now
+  // (pre-plugged, reusable plugged memory, or free commitment headroom) —
+  // CanAdmit minus the warm-reuse shortcut; the adoption admission check.
+  bool HasMemoryForFresh(int fn) const;
+
   // Periodic: hands the tick to the driver, re-arms while work remains.
   void PressureTick();
   // Drain loop: reap newly-idle instances until the host is empty.
@@ -195,6 +217,7 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   uint64_t pending_total_ = 0;
   uint64_t unplug_incomplete_ = 0;
   uint64_t proactive_reclaims_ = 0;
+  uint64_t adopted_instances_ = 0;
   bool tick_armed_ = false;
   bool draining_ = false;
   bool drain_tick_armed_ = false;

@@ -32,6 +32,8 @@ struct FleetSummary {
   uint64_t unplug_failures = 0;
   uint64_t cold_starts = 0;
   uint64_t evictions = 0;
+  uint64_t migrations = 0;           // Replica state transfers started.
+  uint64_t migrated_instances = 0;   // Warm instances adopted by destinations.
 };
 
 // All samples of `parts` in one recorder (fleet percentiles).

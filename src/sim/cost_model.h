@@ -21,6 +21,26 @@ inline constexpr uint32_t kPagesPerBlock = kMemoryBlockBytes / kPageSize;  // 32
 inline constexpr uint32_t kMaxPageOrder = 10;  // Buddy MAX_ORDER: 4 MiB chunks.
 inline constexpr uint32_t kThpOrder = 9;       // 2 MiB transparent huge folio.
 
+inline constexpr uint64_t BytesToPages(uint64_t bytes) { return (bytes + kPageSize - 1) / kPageSize; }
+inline constexpr uint64_t PagesToBytes(uint64_t pages) { return pages * kPageSize; }
+inline constexpr uint64_t BytesToBlocks(uint64_t bytes) {
+  return (bytes + kMemoryBlockBytes - 1) / kMemoryBlockBytes;
+}
+
+inline constexpr uint64_t MiB(uint64_t n) { return n << 20; }
+inline constexpr uint64_t GiB(uint64_t n) { return n << 30; }
+
+// Cost of one live replica state transfer between hosts (pre-copy
+// migration).  Produced by CostModel::StateTransfer.
+struct StateTransferCost {
+  DurationNs precopy = 0;   // Iterative copy rounds; the source keeps serving.
+  DurationNs downtime = 0;  // Final stop-and-copy pause.
+  uint64_t bytes_sent = 0;  // Total wire bytes including resent dirty state.
+  uint32_t rounds = 0;      // Pre-copy rounds actually run.
+
+  DurationNs total() const { return precopy + downtime; }
+};
+
 struct CostModel {
   // --- Balloon (virtio-balloon) -------------------------------------------
   // The balloon driver reserves guest pages one by one and reports each to
@@ -79,6 +99,20 @@ struct CostModel {
   DurationNs microvm_shutdown = Msec(120);
   uint64_t microvm_base_footprint = 170ull << 20;  // Guest OS + FaaS agent RSS.
 
+  // --- Live migration (replica state transfer between hosts) ---------------
+  // Pre-copy live migration: iterative rounds stream the replica's touched
+  // state over the wire while it keeps running; state redirtied during a
+  // round is resent in the next, and a final stop-and-copy round pauses the
+  // source.  Cost scales with the bytes actually touched (the committed
+  // footprint), matching the snapshot-transfer measurements of Ustiugov et
+  // al. — NOT with the VM's configured size.
+  DurationNs migrate_net_byte_x1000 = 400;  // ns per 1000 wire bytes (~2.5 GB/s).
+  DurationNs migrate_round_fixed = Msec(2); // Per-round control RTT + setup.
+  uint32_t migrate_precopy_rounds = 2;      // Iterative rounds before stop-and-copy.
+  // Fraction of transferred state redirtied per round when every instance
+  // is busy; scaled down by the replica's busy fraction at capture time.
+  double migrate_dirty_frac = 0.25;
+
   // --- Misc -----------------------------------------------------------------
   // Reading container rootfs / dependencies from backing store when the
   // page cache misses (cold IO), per byte.  ~600 MB/s effective.
@@ -93,6 +127,37 @@ struct CostModel {
   DurationNs IoBytes(uint64_t bytes) const {
     return static_cast<DurationNs>(bytes) * io_byte_x1000 / 1000;
   }
+  DurationNs NetBytes(uint64_t bytes) const {
+    return static_cast<DurationNs>(bytes) * migrate_net_byte_x1000 / 1000;
+  }
+  // One pre-copy state transfer of `state_bytes` of touched replica state.
+  // `dirty_frac` is the per-round redirty fraction for THIS transfer
+  // (typically migrate_dirty_frac scaled by the replica's busy fraction);
+  // 0 collapses to a single copy round plus an empty stop-and-copy.  Each
+  // round pays the control fixed cost, the per-page read-out (the same
+  // copy primitive as in-guest migration) and the wire time.
+  StateTransferCost StateTransfer(uint64_t state_bytes, double dirty_frac) const {
+    StateTransferCost c;
+    if (dirty_frac < 0) {
+      dirty_frac = 0;
+    } else if (dirty_frac > 0.95) {
+      dirty_frac = 0.95;  // Never diverge: cap at near-total redirtying.
+    }
+    auto round_cost = [this](uint64_t bytes) {
+      return migrate_round_fixed + NetBytes(bytes) +
+             migrate_page * static_cast<DurationNs>(BytesToPages(bytes));
+    };
+    uint64_t remaining = state_bytes;
+    for (uint32_t r = 0; r < migrate_precopy_rounds && remaining > 0; ++r) {
+      c.precopy += round_cost(remaining);
+      c.bytes_sent += remaining;
+      ++c.rounds;
+      remaining = static_cast<uint64_t>(static_cast<double>(remaining) * dirty_frac);
+    }
+    c.downtime = round_cost(remaining);
+    c.bytes_sent += remaining;
+    return c;
+  }
 
   // The paper's default model.
   static CostModel Default() { return CostModel{}; }
@@ -104,15 +169,6 @@ struct CostModel {
     return m;
   }
 };
-
-inline constexpr uint64_t BytesToPages(uint64_t bytes) { return (bytes + kPageSize - 1) / kPageSize; }
-inline constexpr uint64_t PagesToBytes(uint64_t pages) { return pages * kPageSize; }
-inline constexpr uint64_t BytesToBlocks(uint64_t bytes) {
-  return (bytes + kMemoryBlockBytes - 1) / kMemoryBlockBytes;
-}
-
-inline constexpr uint64_t MiB(uint64_t n) { return n << 20; }
-inline constexpr uint64_t GiB(uint64_t n) { return n << 30; }
 
 }  // namespace squeezy
 

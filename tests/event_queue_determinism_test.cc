@@ -1,0 +1,152 @@
+// EventQueue same-timestamp ordering determinism.
+//
+// The whole simulator's bit-reproducibility rests on one contract: events
+// scheduled for the same instant fire in SCHEDULING order (stable FIFO),
+// independent of heap internals, cancellation churn, or any seed-driven
+// noise around them.  Migration makes this load-bearing at the cluster
+// layer — a migration completion racing a drain completion at the same
+// timestamp must resolve the same way in every run — so the contract is
+// locked here directly against the queue.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+
+namespace squeezy {
+namespace {
+
+TEST(EventQueueDeterminismTest, SameInstantFiresInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 64; ++i) {
+    q.ScheduleAt(Sec(5), [&fired, i] { fired.push_back(i); });
+  }
+  q.RunAll();
+  ASSERT_EQ(fired.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueDeterminismTest, CancellationDoesNotPerturbSurvivorOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(q.ScheduleAt(Sec(1), [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 1; i < 32; i += 2) {
+    EXPECT_TRUE(q.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  q.RunAll();
+  ASSERT_EQ(fired.size(), 16u);
+  for (size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], static_cast<int>(2 * i));
+  }
+}
+
+TEST(EventQueueDeterminismTest, HandlerSchedulingAtNowRunsAfterQueuedSameInstant) {
+  EventQueue q;
+  std::vector<std::string> fired;
+  q.ScheduleAt(Sec(2), [&] {
+    fired.push_back("first");
+    // Scheduled DURING the instant: must run after everything already
+    // queued for it — scheduling order is global, not per-insertion-time.
+    q.ScheduleAt(q.now(), [&] { fired.push_back("nested"); });
+  });
+  q.ScheduleAt(Sec(2), [&] { fired.push_back("second"); });
+  q.RunAll();
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], "first");
+  EXPECT_EQ(fired[1], "second");
+  EXPECT_EQ(fired[2], "nested");
+}
+
+TEST(EventQueueDeterminismTest, PastTimestampsClampToNowInFifoOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.ScheduleAt(Sec(10), [&] {
+    q.ScheduleAt(Sec(3), [&fired] { fired.push_back(1); });  // Past: clamps to now.
+    q.ScheduleAt(Sec(1), [&fired] { fired.push_back(2); });  // Also past.
+    q.ScheduleAfter(0, [&fired] { fired.push_back(3); });
+  });
+  q.RunAll();
+  EXPECT_EQ(q.now(), Sec(10));
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(fired[1], 2);
+  EXPECT_EQ(fired[2], 3);
+}
+
+TEST(EventQueueDeterminismTest, RunUntilBoundaryPreservesSameInstantOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 8; ++i) {
+    q.ScheduleAt(Sec(4), [&fired, i] { fired.push_back(i); });
+  }
+  // The deadline lands exactly on the instant: all of it runs, in order,
+  // and a later RunAll finds nothing left to reorder.
+  q.RunUntil(Sec(4));
+  ASSERT_EQ(fired.size(), 8u);
+  q.RunAll();
+  ASSERT_EQ(fired.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+  }
+}
+
+// The migration race, distilled: a "migration completion" and a "drain
+// completion" collide on one timestamp while seed-driven churn (extra
+// scheduled-then-cancelled events, varying insertion interleavings)
+// rages around them.  Whatever the seed does, the two completions must
+// resolve in their scheduling order — the pop order is a pure function
+// of (timestamp, scheduling sequence), never of the noise.
+TEST(EventQueueDeterminismTest, CollidingCompletionsAreSeedIndependent) {
+  auto run = [](uint64_t seed) {
+    EventQueue q;
+    Rng rng(seed);
+    std::vector<std::string> fired;
+    const TimeNs collision = Sec(30);
+    // Seed-dependent noise BEFORE the contenders enter the heap.
+    std::vector<EventId> noise;
+    const int64_t pre = rng.UniformInt(0, 20);
+    for (int64_t i = 0; i < pre; ++i) {
+      noise.push_back(q.ScheduleAt(Sec(rng.UniformInt(0, 60)), [] {}));
+    }
+    q.ScheduleAt(collision, [&fired] { fired.push_back("migration-done"); });
+    // More noise BETWEEN the two contenders, some of it cancelled.
+    const int64_t mid = rng.UniformInt(0, 20);
+    for (int64_t i = 0; i < mid; ++i) {
+      const EventId id = q.ScheduleAt(Sec(rng.UniformInt(0, 60)), [] {});
+      if (rng.UniformInt(0, 1) == 0) {
+        q.Cancel(id);
+      }
+    }
+    q.ScheduleAt(collision, [&fired] { fired.push_back("drain-done"); });
+    for (const EventId id : noise) {
+      if (rng.UniformInt(0, 2) == 0) {
+        q.Cancel(id);
+      }
+    }
+    q.RunAll();
+    std::vector<std::string> order;
+    for (const std::string& s : fired) {
+      if (s == "migration-done" || s == "drain-done") {
+        order.push_back(s);
+      }
+    }
+    return order;
+  };
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const std::vector<std::string> order = run(seed);
+    ASSERT_EQ(order.size(), 2u) << "seed " << seed;
+    EXPECT_EQ(order[0], "migration-done") << "seed " << seed;
+    EXPECT_EQ(order[1], "drain-done") << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace squeezy

@@ -2,6 +2,7 @@
 #ifndef SQUEEZY_BENCH_BENCH_UTIL_H_
 #define SQUEEZY_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -44,8 +45,14 @@ class BenchJson {
  public:
   explicit BenchJson(const std::string& bench_name) : name_(bench_name) {}
 
-  // Headline scalars ("admitted", "speedup_vs_virtio", ...).
+  // Headline scalars ("admitted", "speedup_vs_virtio", ...).  JSON has no
+  // NaN/Infinity literals, so non-finite values (a speedup ratio dividing
+  // by zero on an empty sweep) become null instead of invalid output.
   void Metric(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      metrics_.emplace_back(key, "null");
+      return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6g", value);
     metrics_.emplace_back(key, buf);
@@ -103,6 +110,8 @@ class BenchJson {
   }
 
   // Cells that parse as finite numbers are emitted bare, the rest quoted.
+  // The finiteness check matters: istream happily parses "nan"/"inf",
+  // which are not JSON number tokens and must stay quoted.
   static std::string CellArray(const std::vector<std::string>& cells) {
     std::string out = "[";
     for (size_t i = 0; i < cells.size(); ++i) {
@@ -111,7 +120,7 @@ class BenchJson {
       }
       double v;
       std::istringstream in(cells[i]);
-      if (in >> v && in.eof()) {
+      if (in >> v && in.eof() && std::isfinite(v)) {
         out += cells[i];
       } else {
         out += Quote(cells[i]);

@@ -78,11 +78,16 @@ int main() {
 
   CsvWriter csv("bench_results/fig01_idle_memory.csv",
                 {"second", "guest_gib", "host_gib", "instances"});
+  BenchJson json("fig01_idle_memory");
+  json.SetColumns({"second", "guest_gib", "host_gib", "instances"});
   double guest_peak = 0;
   for (size_t s = 0; s < samples.size(); ++s) {
-    csv.AddRow({std::to_string(s), TablePrinter::Num(samples[s].guest_gib),
-                TablePrinter::Num(samples[s].host_gib),
-                TablePrinter::Int(static_cast<int64_t>(samples[s].instances))});
+    const std::vector<std::string> row = {
+        std::to_string(s), TablePrinter::Num(samples[s].guest_gib),
+        TablePrinter::Num(samples[s].host_gib),
+        TablePrinter::Int(static_cast<int64_t>(samples[s].instances))};
+    csv.AddRow(row);
+    json.AddRow(row);
     guest_peak = std::max(guest_peak, samples[s].guest_gib);
   }
 
@@ -95,6 +100,11 @@ int main() {
   table.Print(std::cout);
 
   const Sample& last = samples.back();
+  json.Metric("guest_end_gib", last.guest_gib);
+  json.Metric("guest_peak_gib", guest_peak);
+  json.Metric("host_end_gib", last.host_gib);
+  json.Metric("idle_tied_down_gib", last.host_gib - last.guest_gib);
+  const std::string json_path = json.Write();
   std::cout << "\nGuest usage at end:  " << TablePrinter::Num(last.guest_gib)
             << " GiB (load has dropped)\n"
             << "Host usage at end:   " << TablePrinter::Num(last.host_gib)
@@ -102,6 +112,6 @@ int main() {
             << TablePrinter::Num(guest_peak) << " GiB)\n"
             << "Idle memory tied down: "
             << TablePrinter::Num(last.host_gib - last.guest_gib) << " GiB\n"
-            << "CSV: bench_results/fig01_idle_memory.csv\n";
+            << "CSV: bench_results/fig01_idle_memory.csv\nJSON: " << json_path << "\n";
   return 0;
 }

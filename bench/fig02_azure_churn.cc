@@ -57,11 +57,16 @@ int main() {
   }
 
   CsvWriter csv("bench_results/fig02_azure_churn.csv", {"minute", "creations", "evictions"});
+  BenchJson json("fig02_azure_churn");
+  json.SetColumns({"minute", "creations", "evictions"});
   TablePrinter table({"Minute", "Creations", "Evictions"});
   uint64_t peak_creations = 0;
   uint64_t total_creations = 0;
   for (size_t m = 0; m <= 60; ++m) {
-    csv.AddRow({std::to_string(m), std::to_string(creations[m]), std::to_string(evictions[m])});
+    const std::vector<std::string> row = {std::to_string(m), std::to_string(creations[m]),
+                                          std::to_string(evictions[m])};
+    csv.AddRow(row);
+    json.AddRow(row);
     if (m % 5 == 0) {
       table.AddRow({std::to_string(m), std::to_string(creations[m]),
                     std::to_string(evictions[m])});
@@ -70,10 +75,14 @@ int main() {
     total_creations += creations[m];
   }
   table.Print(std::cout);
+  json.Metric("invocations", invocations);
+  json.Metric("total_creations", total_creations);
+  json.Metric("peak_creations_per_min", peak_creations);
+  const std::string json_path = json.Write();
   std::cout << "\nTotal invocations (1h, 10 functions): " << invocations << "\n"
             << "Total instance creations:              " << total_creations << "\n"
             << "Peak creations per minute:             " << peak_creations
             << "  (paper: fluctuates up to ~1500/min)\n"
-            << "CSV: bench_results/fig02_azure_churn.csv\n";
+            << "CSV: bench_results/fig02_azure_churn.csv\nJSON: " << json_path << "\n";
   return 0;
 }

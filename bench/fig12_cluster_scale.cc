@@ -97,12 +97,19 @@ struct DrainResult {
   uint64_t cold_after = 0;      // Fleet cold starts arriving post-drain.
   uint64_t migrated = 0;        // Warm instances adopted by destinations.
   uint64_t reaped = 0;          // Warm instances captured but dropped.
+  // Shared dependency cache (dep_cache runs only).
+  uint64_t wire_bytes_saved = 0;    // deps_bytes that skipped the wire.
+  uint64_t wire_hits = 0;           // Migrations that hit the cache.
+  uint64_t cold_io_avoided = 0;     // Deps bytes served without disk IO.
+  uint64_t dep_disk_bytes = 0;      // Deps bytes that still paid disk IO.
 };
 
-DrainResult RunDrain(ReclaimPolicy reclaim, MigrationMode mode, uint64_t host_capacity) {
+DrainResult RunDrain(ReclaimPolicy reclaim, MigrationMode mode, uint64_t host_capacity,
+                     bool dep_cache = false) {
   ClusterConfig cfg =
       fig12::SweepConfig(reclaim, PlacementPolicy::kHintedBinPack, host_capacity);
   cfg.migration = mode;
+  cfg.shared_dep_cache = dep_cache;
   cfg.host.unplug_timeout = Sec(5);
   Cluster cluster(cfg);
   uint64_t boot_commit = 0;
@@ -140,12 +147,21 @@ DrainResult RunDrain(ReclaimPolicy reclaim, MigrationMode mode, uint64_t host_ca
   }
   // First instant after the drain where the host's committed book was back
   // at its boot-time commitment (every replica lives on every host here).
+  // (Under the dep cache a drained host can dip BELOW boot: evicted image
+  // residencies return their commitment too.)
   for (const StepSeries::Point& p :
        cluster.host(victim).host().committed_series().points()) {
     if (p.t >= drain_at && static_cast<uint64_t>(p.value) <= boot_commit) {
       r.reclaim_seconds = ToSec(p.t - drain_at);
       break;
     }
+  }
+  if (cluster.dep_cache() != nullptr) {
+    r.wire_bytes_saved = cluster.dep_cache()->stats().wire_bytes_saved;
+    r.wire_hits = cluster.dep_cache()->stats().wire_hits;
+    const Cluster::DepIoTotals io = cluster.DepIo();
+    r.cold_io_avoided = io.cold_io_avoided();
+    r.dep_disk_bytes = io.disk_read_bytes;
   }
   return r;
 }
@@ -256,26 +272,46 @@ int main() {
   // replicas are live-migrated to planner-chosen hosts instead of reaped,
   // so the fleet pays fewer post-drain cold starts.
   std::cout << "\nHost drain at t=4min (most-committed host, HintedBinPack), "
-               "reap vs migrate:\n";
+               "reap vs migrate vs migrate+dep-cache:\n";
   TablePrinter drain_table({"Reclaim", "Mode", "Host", "RoutedBefore", "RoutedAfter",
-                            "ReclaimSec", "ColdAfter", "Migrated", "Reaped"});
+                            "ReclaimSec", "ColdAfter", "Migrated", "Reaped",
+                            "WireSavedMiB", "ColdIOSavedMiB"});
   bool drain_pass = true;
+  bool dep_pass = true;
+  const double mib = static_cast<double>(MiB(1));
   for (const ReclaimPolicy rp : {ReclaimPolicy::kVirtioMem, ReclaimPolicy::kSqueezy}) {
     uint64_t cold_reap = 0;
     uint64_t cold_migrate = 0;
-    for (const MigrationMode mode :
-         {MigrationMode::kReapOnDrain, MigrationMode::kMigrateOnDrain}) {
-      const DrainResult d = RunDrain(rp, mode, cap);
-      drain_table.AddRow({ReclaimPolicyName(rp), MigrationModeName(mode),
+    // Reap, migrate, and (for the sharing driver) migrate with the
+    // cluster dependency cache on: migrations to populated destinations
+    // skip deps_bytes on the wire and cold starts fetch peer-resident
+    // images instead of paying backing-store IO.
+    struct ModeRun {
+      MigrationMode mode;
+      bool dep_cache;
+    };
+    std::vector<ModeRun> runs = {{MigrationMode::kReapOnDrain, false},
+                                 {MigrationMode::kMigrateOnDrain, false}};
+    if (rp == ReclaimPolicy::kSqueezy) {
+      runs.push_back({MigrationMode::kMigrateOnDrain, true});
+    }
+    for (const ModeRun& run : runs) {
+      const DrainResult d = RunDrain(rp, run.mode, cap, run.dep_cache);
+      const std::string mode_name =
+          std::string(MigrationModeName(run.mode)) + (run.dep_cache ? "+DepC" : "");
+      drain_table.AddRow({ReclaimPolicyName(rp), mode_name,
                           TablePrinter::Int(static_cast<int64_t>(d.drained_host)),
                           TablePrinter::Int(static_cast<int64_t>(d.routed_before)),
                           TablePrinter::Int(static_cast<int64_t>(d.routed_after)),
                           TablePrinter::Num(d.reclaim_seconds),
                           TablePrinter::Int(static_cast<int64_t>(d.cold_after)),
                           TablePrinter::Int(static_cast<int64_t>(d.migrated)),
-                          TablePrinter::Int(static_cast<int64_t>(d.reaped))});
-      const std::string tag =
-          std::string(ReclaimPolicyName(rp)) + "_" + MigrationModeName(mode);
+                          TablePrinter::Int(static_cast<int64_t>(d.reaped)),
+                          TablePrinter::Num(static_cast<double>(d.wire_bytes_saved) / mib, 0),
+                          TablePrinter::Num(static_cast<double>(d.cold_io_avoided) / mib, 0)});
+      const std::string tag = std::string(ReclaimPolicyName(rp)) + "_" +
+                              MigrationModeName(run.mode) +
+                              (run.dep_cache ? "_DepCache" : "");
       if (d.reclaim_seconds >= 0) {
         json.Metric("drain_reclaim_sec_" + tag, d.reclaim_seconds);
       } else {
@@ -283,7 +319,20 @@ int main() {
       }
       json.Metric("drain_cold_after_" + tag, d.cold_after);
       json.Metric("drain_migrated_" + tag, d.migrated);
-      if (mode == MigrationMode::kReapOnDrain) {
+      if (run.dep_cache) {
+        // The dep-cache headline: bytes that never crossed the wire and
+        // dependency bytes served without cold IO, plus the hit rate of
+        // dependency reads against the fleet-wide cache.
+        json.Metric("dep_wire_bytes_saved", d.wire_bytes_saved);
+        json.Metric("dep_wire_hits", d.wire_hits);
+        json.Metric("dep_cold_io_avoided_bytes", d.cold_io_avoided);
+        const uint64_t dep_reads = d.cold_io_avoided + d.dep_disk_bytes;
+        json.Metric("dep_read_hit_rate_pct",
+                    dep_reads > 0 ? 100.0 * static_cast<double>(d.cold_io_avoided) /
+                                        static_cast<double>(dep_reads)
+                                  : 0.0);
+        dep_pass = d.wire_bytes_saved > 0 && d.cold_io_avoided > 0;
+      } else if (run.mode == MigrationMode::kReapOnDrain) {
         cold_reap = d.cold_after;
       } else {
         cold_migrate = d.cold_after;
@@ -297,8 +346,11 @@ int main() {
   drain_table.Print(std::cout);
   std::cout << "Check: migrate-on-drain pays fewer post-drain cold starts than "
                "reap-on-drain -> "
-            << (drain_pass ? "PASS" : "FAIL") << "\n";
+            << (drain_pass ? "PASS" : "FAIL") << "\n"
+            << "Check: dep cache saves wire bytes AND cold IO on the Squeezy drain -> "
+            << (dep_pass ? "PASS" : "FAIL") << "\n";
   json.Text("drain_migrate_check", drain_pass ? "PASS" : "FAIL");
+  json.Text("dep_cache_check", dep_pass ? "PASS" : "FAIL");
 
   json.Metric("trace_invocations", trace_size);
   json.Metric("restricted_host_capacity_gib",
@@ -333,5 +385,5 @@ int main() {
   scale.Print(std::cout);
   const std::string json_path = json.Write();
   std::cout << "CSV: bench_results/fig12_cluster_scale.csv\nJSON: " << json_path << "\n";
-  return binpack_pass && hinted_pass && drain_pass ? 0 : 1;
+  return binpack_pass && hinted_pass && drain_pass && dep_pass ? 0 : 1;
 }

@@ -6,6 +6,9 @@ namespace squeezy {
 
 Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   assert(config_.nr_hosts > 0);
+  if (config_.shared_dep_cache) {
+    dep_cache_ = std::make_unique<DepCache>(config_.nr_hosts);
+  }
   // The scheduler gets the narrow control plane, not the runtimes.
   std::vector<HostControl*> raw;
   raw.reserve(config_.nr_hosts);
@@ -13,6 +16,9 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
     RuntimeConfig host_cfg = config_.host;
     host_cfg.seed = TraceStreamSeed(config_.host.seed, static_cast<int32_t>(h));
     hosts_.push_back(std::make_unique<FaasRuntime>(host_cfg, &events_));
+    if (dep_cache_ != nullptr) {
+      hosts_.back()->AttachDepRegistry(dep_cache_.get(), h);
+    }
     raw.push_back(hosts_.back().get());
   }
   routed_.assign(config_.nr_hosts, 0);
@@ -35,11 +41,16 @@ int Cluster::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency) {
 
   std::vector<Replica> replicas;
   replicas.reserve(placed.size());
+  DepImageId img = kNoDepImage;
   for (const size_t h : placed) {
     replicas.push_back(Replica{h, hosts_[h]->AddFunction(spec, max_concurrency)});
+    if (img == kNoDepImage) {
+      img = hosts_[h]->dep_image(replicas.back().local_fn);
+    }
   }
   functions_.push_back(std::move(replicas));
   fn_plug_unit_.push_back(plug_unit);
+  fn_dep_image_.push_back(img);
   return cluster_fn;
 }
 
@@ -86,8 +97,15 @@ size_t Cluster::MigrateOff(size_t src) {
     // well-scored host can still be concurrency-saturated, and only what
     // it will REALLY take gets sized, priced and shipped — dropped
     // instances never inflate the transfer time or the wire bytes.
+    // Destinations holding the function's dependency image warm rank
+    // first: the move then skips deps_bytes on the wire entirely.
     const std::vector<size_t> ranked = planner_->RankDestinations(
         src, reps, fn_plug_unit_[fn], state.warm_instances);
+    // Whether the dep cache is in play for this function at all (a
+    // cache-on cluster running a non-sharing policy never registers an
+    // image and migrates at full price).
+    const bool dep_active = dep_cache_ != nullptr &&
+                            fn_dep_image_[fn] != kNoDepImage && state.deps_bytes > 0;
     size_t adopted = 0;
     for (const size_t dst_idx : ranked) {
       const Replica& dst = reps[dst_idx];
@@ -96,14 +114,35 @@ size_t Cluster::MigrateOff(size_t src) {
       if (planned == 0) {
         continue;
       }
+      // Dep-cache hit: the destination already holds the identical image,
+      // so only the anonymous state crosses the wire — priced as a fixed
+      // attach cost instead of shipping up to hundreds of MiB of deps.
+      const bool dep_hit = dep_active && dep_cache_->Populated(dst.host, fn_dep_image_[fn]);
       ReplicaMigrationState subset = state;
       subset.warm_instances = planned;
       subset.state_bytes = state.state_bytes * planned / state.warm_instances;
-      const StateTransferCost cost = planner_->TransferCost(subset);
+      if (dep_hit) {
+        subset.deps_bytes = 0;
+      }
+      const StateTransferCost cost = planner_->TransferCost(subset, dep_hit);
       const TimeNs done_at = events_.now() + cost.total();
       adopted = hosts_[dst.host]->AdoptReplica(dst.local_fn, subset, done_at);
       if (adopted == 0) {
         continue;
+      }
+      if (dep_hit) {
+        dep_cache_->RecordWireHit(state.deps_bytes);
+      } else if (dep_active && dep_cache_->Resident(dst.host, fn_dep_image_[fn])) {
+        // The transfer ships the image; the destination holds the bytes
+        // only once it lands — the landing event materializes them into
+        // the destination VM's page cache (real host frames) and records
+        // the population, so neither a concurrent migration nor a peer
+        // cold start can hit bytes still on the wire.
+        const size_t dst_host = dst.host;
+        const int dst_fn = dst.local_fn;
+        events_.ScheduleAt(done_at, [this, dst_host, dst_fn] {
+          hosts_[dst_host]->MaterializeImage(dst_fn);
+        });
       }
       MigrationRecord rec;
       rec.cluster_fn = static_cast<int>(fn);
@@ -148,6 +187,22 @@ void Cluster::Dispatch(int cluster_fn) {
   routing_hash_ ^= static_cast<uint64_t>(cluster_fn) * 131 + r.host + 1;
   routing_hash_ *= 0x100000001b3ULL;
   hosts_[r.host]->agent(r.local_fn).Submit();
+}
+
+Cluster::DepIoTotals Cluster::DepIo() const {
+  DepIoTotals t;
+  for (const auto& h : hosts_) {
+    for (size_t fn = 0; fn < h->function_count(); ++fn) {
+      const int32_t file = h->agent(static_cast<int>(fn)).deps_file();
+      const GuestKernel& guest =
+          static_cast<const FaasRuntime&>(*h).guest(static_cast<int>(fn));
+      const PageCache& pc = guest.page_cache();
+      t.disk_read_bytes += pc.disk_read_bytes(file);
+      t.remote_read_bytes += pc.remote_read_bytes(file);
+      t.adopted_bytes += pc.adopted_bytes(file);
+    }
+  }
+  return t;
 }
 
 StepSeries Cluster::FleetCommittedSeries() const {

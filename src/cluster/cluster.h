@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/cluster/dep_cache.h"
 #include "src/cluster/migration_planner.h"
 #include "src/cluster/scheduler.h"
 #include "src/faas/runtime.h"
@@ -51,6 +52,12 @@ struct ClusterConfig {
   // MigratePressured: minimum pending scale-ups before a host is treated
   // as under sustained pressure.
   size_t pressure_migrate_min_pending = 4;
+  // Cluster-wide shared dependency cache (src/cluster/dep_cache.h): deps
+  // regions charged once per host per image for sharing drivers, cold
+  // starts fetch peer-resident images at wire speed, and migrations to a
+  // populated destination skip deps_bytes on the wire.  Off by default —
+  // every existing experiment is bit-identical with it off.
+  bool shared_dep_cache = false;
 };
 
 class Cluster {
@@ -96,6 +103,20 @@ class Cluster {
   // migrations started.
   size_t MigratePressured();
 
+  // --- Shared dependency cache ------------------------------------------------------
+  // Null unless ClusterConfig::shared_dep_cache.
+  const DepCache* dep_cache() const { return dep_cache_.get(); }
+  // Aggregated deps-file read accounting across every replica VM: how the
+  // fleet's dependency bytes were actually served.
+  struct DepIoTotals {
+    uint64_t disk_read_bytes = 0;    // Cold backing-store IO paid.
+    uint64_t remote_read_bytes = 0;  // Fetched from a peer host's image.
+    uint64_t adopted_bytes = 0;      // Mapped from a host-resident image.
+    // Bytes that would have been cold IO without the cache.
+    uint64_t cold_io_avoided() const { return remote_read_bytes + adopted_bytes; }
+  };
+  DepIoTotals DepIo() const;
+
   // --- Migration introspection ------------------------------------------------------
   MigrationPlanner& planner() { return *planner_; }
   const std::vector<MigrationRecord>& migrations() const { return migrations_; }
@@ -129,11 +150,13 @@ class Cluster {
 
   ClusterConfig config_;
   EventQueue events_;
+  std::unique_ptr<DepCache> dep_cache_;  // Null unless shared_dep_cache.
   std::vector<std::unique_ptr<FaasRuntime>> hosts_;
   std::unique_ptr<ClusterScheduler> scheduler_;
   std::unique_ptr<MigrationPlanner> planner_;
   std::vector<std::vector<Replica>> functions_;
   std::vector<uint64_t> fn_plug_unit_;  // Destination sizing per function.
+  std::vector<DepImageId> fn_dep_image_;  // Registry image per function.
   std::vector<uint64_t> routed_;
   std::vector<MigrationRecord> migrations_;
   uint64_t in_flight_migrations_ = 0;

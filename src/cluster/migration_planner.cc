@@ -17,6 +17,7 @@ std::vector<size_t> MigrationPlanner::RankDestinations(
   struct Candidate {
     size_t idx;
     bool fits_all;
+    bool dep_populated;
     uint64_t committed;
   };
   std::vector<Candidate> cands;
@@ -25,19 +26,26 @@ std::vector<size_t> MigrationPlanner::RankDestinations(
     if (h == src_host) {
       continue;
     }
-    const HostSnapshot s = hosts_[h]->Snapshot();
+    const HostSnapshot s = hosts_[h]->Snapshot(replicas[i].local_fn);
     if (s.draining || s.available < unit_bytes) {
       continue;  // Cannot take even one instance's commitment.
     }
-    cands.push_back(Candidate{i, s.available >= wanted * unit_bytes, s.committed});
+    cands.push_back(
+        Candidate{i, s.available >= wanted * unit_bytes, s.dep_image_populated, s.committed});
   }
   // Bin-pack flavor, same as placement: pack the incoming state onto the
   // most committed host that still fits the whole move, partial fits
-  // after, keeping the fleet tail free for spikes.  stable_sort keeps
-  // exact ties at the lowest host index (deterministic).
+  // after, keeping the fleet tail free for spikes.  Within each class,
+  // destinations holding the dependency image warm come first (the move
+  // skips deps_bytes on the wire there; always false without a dep
+  // cache, so the pre-cache ordering is preserved bit-identically).
+  // stable_sort keeps exact ties at the lowest host index (deterministic).
   std::stable_sort(cands.begin(), cands.end(), [](const Candidate& a, const Candidate& b) {
     if (a.fits_all != b.fits_all) {
       return a.fits_all;
+    }
+    if (a.dep_populated != b.dep_populated) {
+      return a.dep_populated;
     }
     return a.committed > b.committed;
   });
@@ -65,9 +73,15 @@ int MigrationPlanner::MostPressuredHost(size_t min_pending) const {
   return victim;
 }
 
-StateTransferCost MigrationPlanner::TransferCost(const ReplicaMigrationState& state) const {
-  return cost_.StateTransfer(state.transfer_bytes(),
-                             cost_.migrate_dirty_frac * state.busy_fraction);
+StateTransferCost MigrationPlanner::TransferCost(const ReplicaMigrationState& state,
+                                                 bool dep_cache_hit) const {
+  StateTransferCost c = cost_.StateTransfer(state.transfer_bytes(),
+                                            cost_.migrate_dirty_frac * state.busy_fraction);
+  if (dep_cache_hit) {
+    // Attach the destination-resident image instead of shipping it.
+    c.precopy += cost_.dep_cache_hit_fixed;
+  }
+  return c;
 }
 
 }  // namespace squeezy

@@ -50,12 +50,14 @@ class MigrationPlanner {
   // `unit_bytes` each) off `src_host`: indices into `replicas` (the
   // function's replica set), best first.  Reuses the bin-pack scoring
   // through one Snapshot per candidate — non-draining hosts other than
-  // the source with headroom for at least one unit, hosts that fit the
-  // whole move before partial fits, most committed first within each
-  // class, ties to the lowest host index.  The caller walks the ranking
-  // and settles on the first host that actually adopts (a well-placed
-  // candidate can still be concurrency-saturated — AdoptableReplicas
-  // decides, not the snapshot).
+  // the source with headroom for at least one unit; hosts that fit the
+  // whole move before partial fits, then hosts holding the function's
+  // dependency image warm (HostSnapshot::dep_image_populated — the move
+  // skips deps_bytes on the wire there), most committed first within
+  // each class, ties to the lowest host index.  The caller walks the
+  // ranking and settles on the first host that actually adopts (a
+  // well-placed candidate can still be concurrency-saturated —
+  // AdoptableReplicas decides, not the snapshot).
   std::vector<size_t> RankDestinations(size_t src_host,
                                        const std::vector<Replica>& replicas,
                                        uint64_t unit_bytes, size_t wanted) const;
@@ -69,8 +71,12 @@ class MigrationPlanner {
 
   // Prices one state transfer: pre-copy + stop-and-copy over the touched
   // footprint, the per-round redirty fraction scaled by the replica's
-  // busy fraction at capture.
-  StateTransferCost TransferCost(const ReplicaMigrationState& state) const;
+  // busy fraction at capture.  On a dep-cache hit the caller has already
+  // zeroed state.deps_bytes; the transfer additionally pays the fixed
+  // image-attach cost (CostModel::dep_cache_hit_fixed) — strictly
+  // cheaper than shipping the image whenever deps_bytes outweighs it.
+  StateTransferCost TransferCost(const ReplicaMigrationState& state,
+                                 bool dep_cache_hit = false) const;
 
   uint64_t plans_considered() const { return plans_considered_; }
 

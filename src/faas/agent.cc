@@ -129,6 +129,15 @@ size_t Agent::live_instances() const {
   return n;
 }
 
+size_t Agent::memory_granted_instances() const {
+  size_t n = 0;
+  for (const auto& inst : instances_) {
+    n += (inst->state == InstanceState::kColdStart || inst->state == InstanceState::kIdle ||
+          inst->state == InstanceState::kBusy);
+  }
+  return n;
+}
+
 void Agent::Submit() {
   queue_.push_back(events_->now());
   DispatchQueue();
@@ -217,6 +226,9 @@ void Agent::BecomeIdle(int32_t instance_id) {
   inst.idle_since = events_->now();
   ScheduleKeepAlive(instance_id);
   instance_series_.Push(events_->now(), static_cast<double>(live_instances()));
+  if (callbacks_.instance_idle) {
+    callbacks_.instance_idle();
+  }
   DispatchQueue();
 }
 

@@ -67,6 +67,10 @@ struct AgentCallbacks {
   std::function<void(std::function<void(DurationNs)> ready)> acquire_memory;
   // An instance was evicted and its process exited; reclaim its memory.
   std::function<void()> release_memory;
+  // Optional: an instance went idle (cold start or request just
+  // finished).  The runtime uses it to observe that the VM's dependency
+  // image is now fully faulted (cluster dep-cache population signal).
+  std::function<void()> instance_idle;
 };
 
 class Agent {
@@ -113,9 +117,15 @@ class Agent {
   size_t idle_instances() const;
   size_t busy_instances() const;
   size_t live_instances() const;  // idle + busy + starting.
+  // Instances whose memory grant landed (cold-starting, idle or busy) —
+  // the population the dep-cache image refcount tracks; excludes spawns
+  // still waiting on memory.
+  size_t memory_granted_instances() const;
   size_t queued_requests() const { return queue_.size(); }
   const FunctionSpec& spec() const { return spec_; }
   const AgentConfig& config() const { return config_; }
+  // The shared dependency file backing this VM's page-cache image.
+  int32_t deps_file() const { return deps_file_; }
 
   // --- Metrics --------------------------------------------------------------------
   const std::vector<RequestRecord>& requests() const { return records_; }

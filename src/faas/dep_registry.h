@@ -1,0 +1,67 @@
+// The narrow surface a host runtime sees of the cluster-wide shared
+// dependency-image registry (TrEnv-X-style cross-host dependency cache).
+//
+// A dependency image is the read-only file_deps_bytes payload of one
+// function spec (container rootfs + language runtime + model files).  The
+// registry tracks, per host, whether the image is RESIDENT (its
+// block-rounded region is charged to the host commitment book — once per
+// host per image, not once per VM) and whether it is POPULATED (some VM
+// on the host has actually faulted the bytes in, so peers can fetch them
+// over the wire instead of paying cold backing-store IO).
+//
+// Layering: src/faas/ sees only this interface; the concrete registry
+// (src/cluster/dep_cache.h) lives with the fleet, mirroring how the
+// scheduler sees hosts only through HostControl.  A runtime without an
+// attached registry (every single-host experiment, and any driver whose
+// SharedDepsSupported() is false) behaves bit-identically to before the
+// registry existed.
+#ifndef SQUEEZY_FAAS_DEP_REGISTRY_H_
+#define SQUEEZY_FAAS_DEP_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace squeezy {
+
+using DepImageId = int32_t;
+inline constexpr DepImageId kNoDepImage = -1;
+
+class DepImageRegistry {
+ public:
+  virtual ~DepImageRegistry() = default;
+
+  // Interns `key` (spec name + image size) as an image of `region_bytes`
+  // (the block-rounded deps region a residency charges).  Idempotent.
+  virtual DepImageId Intern(const std::string& key, uint64_t region_bytes) = 0;
+  virtual uint64_t region_bytes(DepImageId img) const = 0;
+
+  // Makes the image resident on `host` (the caller has charged — or is
+  // about to charge — region_bytes to its commitment book).  Returns
+  // true when it already was resident: the caller then skips its charge,
+  // which is exactly the once-per-host-per-image accounting.
+  virtual bool PinImage(size_t host, DepImageId img) = 0;
+  // Drops the residency (host drain / refcount-zero under pressure).
+  // Returns region_bytes when the image was resident — the commitment
+  // the caller must now flow back through its reclaim driver — else 0.
+  virtual uint64_t EvictImage(size_t host, DepImageId img) = 0;
+  virtual bool Resident(size_t host, DepImageId img) const = 0;
+
+  // Live-instance reference counting on `host` (one AddRef per granted
+  // instance, one ReleaseRef per eviction/OOM).  An image with zero refs
+  // is cached-but-unreferenced: reclaimable under pressure.
+  virtual void AddRef(size_t host, DepImageId img) = 0;
+  virtual void ReleaseRef(size_t host, DepImageId img) = 0;
+  virtual uint64_t RefCount(size_t host, DepImageId img) const = 0;
+
+  // Content residency: `host` holds the image bytes warm (first cold
+  // start completed there).  PopulatedElsewhere is the cold-IO-skip
+  // signal — some OTHER host can serve the bytes at wire speed.
+  virtual void MarkPopulated(size_t host, DepImageId img) = 0;
+  virtual bool Populated(size_t host, DepImageId img) const = 0;
+  virtual bool PopulatedElsewhere(size_t host, DepImageId img) const = 0;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_FAAS_DEP_REGISTRY_H_

@@ -47,6 +47,11 @@ struct HostSnapshot {
   // local function index; false otherwise (and always false while
   // draining).
   bool can_admit = false;
+  // Whether the queried function's dependency image is held warm by this
+  // host in the cluster dep cache (a migration here skips deps_bytes on
+  // the wire).  Only meaningful with a local function index and an
+  // attached DepImageRegistry; false otherwise.
+  bool dep_image_populated = false;
 };
 
 class HostControl {

@@ -39,8 +39,16 @@ FaasRuntime::~FaasRuntime() = default;
 uint64_t FaasRuntime::BootCommitment(const RuntimeConfig& config, const FunctionSpec& spec,
                                      uint32_t max_concurrency) {
   // A throwaway unbound driver: sizing hooks are pure functions of
-  // (config, spec), usable before any runtime exists.
+  // (config, spec), usable before any runtime exists.  Placement checks
+  // against the full (undeduped) commitment; a host joining an
+  // already-resident image commits less at registration.
   return MakeReclaimDriver(config)->BootCommitment(SizingFor(spec, max_concurrency));
+}
+
+void FaasRuntime::AttachDepRegistry(DepImageRegistry* registry, size_t host_id) {
+  assert(vms_.empty() && "attach the registry before any AddFunction");
+  dep_registry_ = registry;
+  host_id_ = host_id;
 }
 
 int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency) {
@@ -71,13 +79,28 @@ int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency)
     // Plugs the shared partition at boot.
     bundle->sqz = std::make_unique<SqueezyManager>(bundle->guest.get(), scfg);
   }
+  bundle->deps_region = sizing.deps_region;
   vms_.push_back(std::move(bundle));
 
   // Host commitment at boot: base RAM plus the driver's boot-time plug
   // (everything for static VMs, shared partition / dependency cache for
   // the dynamic drivers).
   driver_->OnVmBoot(fn, gcfg.hotplug_region, sizing.deps_region);
-  const uint64_t boot_commit = driver_->BootCommitment(sizing);
+  uint64_t boot_commit = driver_->BootCommitment(sizing);
+  if (dep_registry_ != nullptr && driver_->SharedDepsSupported() && sizing.deps_region > 0) {
+    // Cluster dep cache: the read-only dependency image is charged once
+    // per host per image — a VM joining an already-resident image skips
+    // its deps share of the boot commitment.
+    const DepImageId img = dep_registry_->Intern(
+        spec.name + "/" + std::to_string(spec.file_deps_bytes), sizing.deps_region);
+    vm(fn).dep_image = img;
+    const bool already = dep_registry_->PinImage(host_id_, img);
+    driver_->OnImageResident(fn, sizing.deps_region, already);
+    if (already) {
+      assert(boot_commit >= sizing.deps_region);
+      boot_commit -= sizing.deps_region;
+    }
+  }
   const bool reserved = host_.TryReserve(boot_commit, 0);
   assert(reserved && "host must fit the boot-time footprint of every VM");
   (void)reserved;
@@ -89,12 +112,28 @@ int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency)
   acfg.use_squeezy = driver_->UsesSqueezy();
   AgentCallbacks callbacks;
   callbacks.acquire_memory = [this, fn](std::function<void(DurationNs)> ready) {
-    driver_->Acquire(fn, std::move(ready));
+    AcquireInstanceMemory(fn, std::move(ready));
   };
-  callbacks.release_memory = [this, fn] { driver_->Release(fn); };
+  callbacks.release_memory = [this, fn] { ReleaseInstanceMemory(fn); };
+  if (vm(fn).dep_image != kNoDepImage) {
+    // Population signal: the first idle transition follows the cold
+    // start that faulted the whole image in — peers can fetch it now.
+    callbacks.instance_idle = [this, fn] { MarkImagePopulatedIfWarm(fn); };
+  }
   VmBundle& b = vm(fn);
   b.agent = std::make_unique<Agent>(events_, b.guest.get(), b.sqz.get(), spec, acfg,
                                     std::move(callbacks), gcfg.seed ^ 0x5eedULL);
+  if (b.dep_image != kNoDepImage) {
+    // Cold misses on the deps file ask the live registry at fault time:
+    // wire speed exactly while some peer holds the image warm, cold
+    // backing-store IO otherwise — the answer can never go stale.
+    b.guest->page_cache().SetBackingResolver(b.agent->deps_file(), [this, fn]() -> DurationNs {
+      const VmBundle& v = *vms_[static_cast<size_t>(fn)];
+      return dep_registry_->PopulatedElsewhere(host_id_, v.dep_image)
+                 ? cost_.dep_fetch_byte_x1000
+                 : -1;
+    });
+  }
   return fn;
 }
 
@@ -103,6 +142,145 @@ void FaasRuntime::SubmitTrace(const std::vector<Invocation>& trace) {
     const int fn = inv.function;
     assert(fn >= 0 && static_cast<size_t>(fn) < vms_.size());
     events_->ScheduleAt(inv.at, [this, fn] { agent(fn).Submit(); });
+  }
+}
+
+// --- Shared dependency images ------------------------------------------------------
+
+uint64_t FaasRuntime::ImageChargeNeeded(int fn) const {
+  const VmBundle& b = *vms_[static_cast<size_t>(fn)];
+  if (dep_registry_ == nullptr || b.dep_image == kNoDepImage ||
+      dep_registry_->Resident(host_id_, b.dep_image)) {
+    return 0;
+  }
+  return b.deps_region;
+}
+
+void FaasRuntime::ChargeImage(int fn, uint64_t image_bytes) {
+  dep_registry_->PinImage(host_id_, vm(fn).dep_image);
+  driver_->OnImageResident(fn, image_bytes, false);
+}
+
+void FaasRuntime::AcquireInstanceMemory(int fn, std::function<void(DurationNs)> ready) {
+  VmBundle& b = vm(fn);
+  if (b.dep_image == kNoDepImage) {
+    driver_->Acquire(fn, std::move(ready));
+    return;
+  }
+  MarkImagePopulatedIfWarm(fn);
+  // Grant-time tail: count the image reference and adopt a host-resident
+  // copy into this VM's cold page cache.
+  std::function<void(DurationNs)> wrapped =
+      [this, fn, cb = std::move(ready)](DurationNs vmm_latency) {
+        OnInstanceGranted(fn, vmm_latency, cb);
+      };
+  const uint64_t image_need = ImageChargeNeeded(fn);
+  if (image_need > 0) {
+    // The image was evicted; its commitment must be back on the book
+    // before any instance can map it.
+    if (host_.TryReserve(image_need, events_->now())) {
+      ChargeImage(fn, image_need);
+    } else {
+      // Park the whole scale-up: TryServePending re-charges image + plug
+      // unit together once reclamation frees room.
+      EnqueuePending(fn, std::move(wrapped));
+      MakeRoom(b.plug_unit + image_need);
+      ArmPressureTick();
+      return;
+    }
+  }
+  driver_->Acquire(fn, std::move(wrapped));
+}
+
+void FaasRuntime::OnInstanceGranted(int fn, DurationNs vmm_latency,
+                                    const std::function<void(DurationNs)>& ready) {
+  VmBundle& b = vm(fn);
+  assert(dep_registry_->Resident(host_id_, b.dep_image) &&
+         "a referenced image cannot have been evicted");
+  dep_registry_->AddRef(host_id_, b.dep_image);
+  DurationNs adopt_latency = 0;
+  const int32_t file = b.agent->deps_file();
+  PageCache& pc = b.guest->page_cache();
+  if (dep_registry_->Populated(host_id_, b.dep_image) &&
+      pc.cached_pages(file) < pc.FilePages(file)) {
+    // The host already holds the image warm (a sibling VM, or bytes a
+    // migration shipped here): map it into this VM's page cache — no
+    // backing read, no new host frames.
+    adopt_latency = b.guest->AdoptFileCache(file, events_->now()).latency;
+  }
+  ready(vmm_latency + adopt_latency);
+}
+
+void FaasRuntime::ReleaseInstanceMemory(int fn) {
+  VmBundle& b = vm(fn);
+  if (b.dep_image == kNoDepImage) {
+    driver_->Release(fn);
+    return;
+  }
+  MarkImagePopulatedIfWarm(fn);
+  dep_registry_->ReleaseRef(host_id_, b.dep_image);
+  driver_->Release(fn);
+  MaybeEvictImages();
+}
+
+void FaasRuntime::MaterializeImage(int local_fn) {
+  VmBundle& b = vm(local_fn);
+  if (dep_registry_ == nullptr || b.dep_image == kNoDepImage ||
+      !dep_registry_->Resident(host_id_, b.dep_image)) {
+    return;  // Evicted while the transfer was in flight: bytes dropped.
+  }
+  b.guest->AdoptFileCache(b.agent->deps_file(), events_->now(), /*populate_host=*/true);
+  dep_registry_->MarkPopulated(host_id_, b.dep_image);
+}
+
+void FaasRuntime::MarkImagePopulatedIfWarm(int fn) {
+  VmBundle& b = vm(fn);
+  if (dep_registry_->Populated(host_id_, b.dep_image)) {
+    return;
+  }
+  const int32_t file = b.agent->deps_file();
+  const PageCache& pc = b.guest->page_cache();
+  if (pc.cached_pages(file) == pc.FilePages(file)) {
+    dep_registry_->MarkPopulated(host_id_, b.dep_image);
+  }
+}
+
+void FaasRuntime::MaybeEvictImages() {
+  if (dep_registry_ == nullptr) {
+    return;
+  }
+  if (!draining_ && pending_.empty()) {
+    return;  // Images are evicted under drain or memory pressure only.
+  }
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    const DepImageId img = vms_[i]->dep_image;
+    if (img == kNoDepImage || !dep_registry_->Resident(host_id_, img) ||
+        dep_registry_->RefCount(host_id_, img) != 0) {
+      continue;
+    }
+    // An in-flight grant (spawn waiting on memory, parked scale-up,
+    // adopted replica mid-transfer) will reference the image: keep it.
+    bool grant_in_flight = false;
+    for (const auto& b : vms_) {
+      if (b->dep_image == img &&
+          b->agent->live_instances() != b->agent->memory_granted_instances()) {
+        grant_in_flight = true;
+        break;
+      }
+    }
+    if (grant_in_flight) {
+      continue;
+    }
+    // Release the residency: every pinned VM drops its cached image pages
+    // (guest pages freed, host backing madvised away), and the charged
+    // commitment flows back through the active driver.
+    const uint64_t charged = dep_registry_->EvictImage(host_id_, img);
+    for (const auto& b : vms_) {
+      if (b->dep_image == img) {
+        b->guest->DropFileCache(b->agent->deps_file(), events_->now());
+      }
+    }
+    driver_->OnImageEvict(static_cast<int>(i), charged);
   }
 }
 
@@ -191,7 +369,14 @@ void FaasRuntime::ArmPressureTick() {
 void FaasRuntime::TryServePending() {
   for (auto it = pending_.begin(); it != pending_.end();) {
     VmBundle& b = vm(it->fn);
-    if (host_.TryReserve(b.plug_unit, events_->now())) {
+    // A scale-up whose dependency image lost its residency while parked
+    // (or was parked for exactly that reason) must re-charge the image
+    // together with its plug unit — one atomic reservation, no torn book.
+    const uint64_t image_need = ImageChargeNeeded(it->fn);
+    if (host_.TryReserve(b.plug_unit + image_need, events_->now())) {
+      if (image_need > 0) {
+        ChargeImage(it->fn, image_need);
+      }
       std::function<void(DurationNs)> ready = std::move(it->ready);
       const int fn = it->fn;
       it = pending_.erase(it);
@@ -250,6 +435,10 @@ size_t FaasRuntime::ReapAllIdle() {
 
 void FaasRuntime::PressureTick() {
   tick_armed_ = false;
+  // Zero-ref images are reclaimable under pressure even when the last
+  // release predated it (the release-path check saw an empty FIFO);
+  // freeing them first gives the driver's tick room to serve with.
+  MaybeEvictImages();
   driver_->PressureTick();
   if (!pending_.empty()) {
     ArmPressureTick();
@@ -261,12 +450,16 @@ bool FaasRuntime::HasMemoryForFresh(int fn) const {
   if (driver_->AlwaysAdmits()) {
     return true;  // Everything is pre-plugged.
   }
+  // An evicted dependency image must be re-charged alongside the plug
+  // unit; 0 whenever the registry/image machinery is not in play.
+  const uint64_t image_need = ImageChargeNeeded(fn);
   // Plugged-but-uncommitted-elsewhere memory this VM can reuse instantly.
   const uint64_t reusable = driver_->ReusablePlugged(fn);
-  if (reusable >= b.plug_unit) {
+  if (reusable >= b.plug_unit && image_need == 0) {
     return true;
   }
-  return host_.available() >= b.plug_unit - std::min(reusable, b.plug_unit);
+  return host_.available() >=
+         b.plug_unit - std::min(reusable, b.plug_unit) + image_need;
 }
 
 bool FaasRuntime::CanAdmit(int fn) const {
@@ -293,6 +486,10 @@ HostSnapshot FaasRuntime::Snapshot(int local_fn) const {
   s.pending_scaleups = pending_.size();
   s.draining = draining_;
   s.can_admit = local_fn >= 0 && CanAdmit(local_fn);
+  if (local_fn >= 0 && dep_registry_ != nullptr) {
+    const DepImageId img = vms_[static_cast<size_t>(local_fn)]->dep_image;
+    s.dep_image_populated = img != kNoDepImage && dep_registry_->Populated(host_id_, img);
+  }
   return s;
 }
 
@@ -307,6 +504,10 @@ void FaasRuntime::Drain() {
   }
   draining_ = true;
   driver_->OnDrain();
+  // Unreferenced dependency images go with the drain (instances still
+  // finishing keep theirs referenced until the drain tick reaps them and
+  // the release path re-checks).
+  MaybeEvictImages();
   if (!drain_tick_armed_) {
     drain_tick_armed_ = true;
     events_->ScheduleAfter(config_.pressure_check_period, [this] { DrainTick(); });
@@ -346,9 +547,15 @@ size_t FaasRuntime::AdoptableReplicas(int local_fn, size_t wanted) const {
   }
   // Walk the same books the adoption loop will consume: the driver's
   // reusable plugged pool first (spare, cancellable unplugs, slack
-  // buffers), then free commitment for the remainder of each unit.
+  // buffers), then free commitment for the remainder of each unit.  An
+  // evicted dependency image is re-charged up front, before any unit.
   uint64_t reusable = driver_->ReusablePlugged(local_fn);
   uint64_t avail = host_.available();
+  const uint64_t image_need = ImageChargeNeeded(local_fn);
+  if (avail < image_need) {
+    return 0;
+  }
+  avail -= image_need;
   size_t n = 0;
   while (n < cap) {
     const uint64_t from_reuse = std::min(reusable, b.plug_unit);

@@ -28,6 +28,7 @@
 
 #include "src/core/squeezy.h"
 #include "src/faas/agent.h"
+#include "src/faas/dep_registry.h"
 #include "src/faas/function.h"
 #include "src/faas/host_control.h"
 #include "src/faas/runtime_config.h"
@@ -51,6 +52,14 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   // the runtime.
   FaasRuntime(const RuntimeConfig& config, EventQueue* events);
   ~FaasRuntime() override;
+
+  // Attaches the cluster's shared dependency-image registry (the host is
+  // `host_id` in it).  Must precede every AddFunction call.  Only takes
+  // effect for drivers with SharedDepsSupported(): their deps_region is
+  // then charged once per host per image, cold starts fetch peer-resident
+  // images at wire speed instead of cold IO, and evicted residencies flow
+  // their commitment back through the driver.
+  void AttachDepRegistry(DepImageRegistry* registry, size_t host_id);
 
   // Registers one N:1 VM hosting `spec` with concurrency factor N.
   // Returns the function index used by SubmitTrace.
@@ -79,10 +88,14 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   Agent& agent(int fn) { return *vms_[static_cast<size_t>(fn)]->agent; }
   const Agent& agent(int fn) const { return *vms_[static_cast<size_t>(fn)]->agent; }
   GuestKernel& guest(int fn) override { return *vms_[static_cast<size_t>(fn)]->guest; }
+  const GuestKernel& guest(int fn) const { return *vms_[static_cast<size_t>(fn)]->guest; }
   SqueezyManager* squeezy(int fn) { return vms_[static_cast<size_t>(fn)]->sqz.get(); }
   const FunctionSpec& spec(int fn) const { return vms_[static_cast<size_t>(fn)]->spec; }
   const RuntimeConfig& config() const { return config_; }
   const ReclaimDriver& driver() const { return *driver_; }
+  // The registered dependency image of fn's VM (kNoDepImage without an
+  // attached registry / sharing driver).
+  DepImageId dep_image(int fn) const { return vms_[static_cast<size_t>(fn)]->dep_image; }
 
   // Reclamation throughput achieved by fn's VM so far (MiB/s); 0 if the VM
   // never unplugged (Fig 8).
@@ -133,12 +146,19 @@ class FaasRuntime : public HostControl, private ReclaimHost {
                       TimeNs available_at) override;
   // Warm instances adopted from migrations so far (destination side).
   uint64_t total_adopted_instances() const { return adopted_instances_; }
+  // Migration landing: the wire transfer delivered fn's dependency image
+  // — materialize it into the VM's page cache (new host frames) and
+  // record the population.  No-op when no registry/image is attached or
+  // the residency was evicted while the transfer was in flight.
+  void MaterializeImage(int local_fn);
 
  private:
   struct VmBundle {
     FunctionSpec spec;
     uint32_t max_concurrency = 0;
-    uint64_t plug_unit = 0;  // Block-rounded memory limit.
+    uint64_t plug_unit = 0;    // Block-rounded memory limit.
+    uint64_t deps_region = 0;  // Block-rounded dependency image size.
+    DepImageId dep_image = kNoDepImage;  // Registry image (sharing drivers only).
     std::unique_ptr<GuestKernel> guest;
     std::unique_ptr<SqueezyManager> sqz;
     std::unique_ptr<Agent> agent;
@@ -198,6 +218,28 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   // CanAdmit minus the warm-reuse shortcut; the adoption admission check.
   bool HasMemoryForFresh(int fn) const;
 
+  // --- Shared dependency images (attached registry only) ----------------------------
+  // Instance memory front door: ensures fn's image residency is charged
+  // (re-pinning an evicted image, or parking the scale-up until the
+  // charge fits), counts image references at grant time, and adopts a
+  // host-resident image straight into a cold VM's page cache.  Falls
+  // through to the driver untouched when fn has no registered image.
+  void AcquireInstanceMemory(int fn, std::function<void(DurationNs)> ready);
+  void ReleaseInstanceMemory(int fn);
+  // Commitment fn's image still needs on this host (deps_region when the
+  // image is registered but not resident; 0 otherwise).
+  uint64_t ImageChargeNeeded(int fn) const;
+  // Re-establishes fn's image residency for a charge the caller has
+  // already reserved on the host book.
+  void ChargeImage(int fn, uint64_t image_bytes);
+  // Grant-time tail: AddRef + sibling-cache adoption, then `ready`.
+  void OnInstanceGranted(int fn, DurationNs vmm_latency,
+                         const std::function<void(DurationNs)>& ready);
+  void MarkImagePopulatedIfWarm(int fn);
+  // Drops zero-reference image residencies while draining or starved;
+  // their commitment flows back through the driver (OnImageEvict).
+  void MaybeEvictImages();
+
   // Periodic: hands the tick to the driver, re-arms while work remains.
   void PressureTick();
   // Drain loop: reap newly-idle instances until the host is empty.
@@ -212,6 +254,8 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   HostMemory host_;
   std::unique_ptr<Hypervisor> hv_;
   std::unique_ptr<ReclaimDriver> driver_;
+  DepImageRegistry* dep_registry_ = nullptr;  // Null outside a dep-cache cluster.
+  size_t host_id_ = 0;                        // This host's index in the registry.
   std::vector<std::unique_ptr<VmBundle>> vms_;
   std::deque<PendingScaleUp> pending_;
   uint64_t pending_total_ = 0;

@@ -221,6 +221,13 @@ TouchResult GuestKernel::TouchFile(Pid pid, int32_t file_id, uint64_t bytes, Tim
     return result;
   }
 
+  // Misses read from the file's backing source: cold backing-store IO by
+  // default, or the per-file override (a peer host's resident image
+  // served at wire speed) installed by the cluster dependency cache.
+  const DurationNs backing_x1000 = page_cache_.backing_cost(file_id);
+  const DurationNs miss_read =
+      backing_x1000 < 0 ? cost().IoBytes(kPageSize)
+                        : backing_x1000 * static_cast<DurationNs>(kPageSize) / 1000;
   for (uint64_t idx = 0; idx < pages; ++idx) {
     if (page_cache_.Cached(file_id, idx)) {
       result.latency += cost().fault_page;
@@ -238,13 +245,68 @@ TouchResult GuestKernel::TouchFile(Pid pid, int32_t file_id, uint64_t bytes, Tim
       return result;
     }
     page_cache_.Insert(file_id, idx, pfn);
-    result.latency += cost().fault_folio_fixed + cost().fault_page + cost().IoBytes(kPageSize);
+    result.latency += cost().fault_folio_fixed + cost().fault_page + miss_read;
+    if (backing_x1000 < 0) {
+      page_cache_.CountDiskRead(file_id, kPageSize);
+    } else {
+      page_cache_.CountRemoteRead(file_id, kPageSize);
+    }
     const DurationNs nested = PopulateHostBacking(pfn, 1, now);
     result.nested += nested;
     result.latency += nested;
   }
   result.bytes = PagesToBytes(pages);
   return result;
+}
+
+TouchResult GuestKernel::AdoptFileCache(int32_t file_id, TimeNs now, bool populate_host) {
+  TouchResult result;
+  const uint64_t pages = page_cache_.FilePages(file_id);
+  for (uint64_t idx = 0; idx < pages; ++idx) {
+    if (page_cache_.Cached(file_id, idx)) {
+      continue;
+    }
+    const Pfn pfn = file_zone_->Alloc(0, PageKind::kFile, file_id, static_cast<uint32_t>(idx));
+    if (pfn == kInvalidPfn) {
+      break;  // Partial adoption; the remainder faults in normally.
+    }
+    page_cache_.Insert(file_id, idx, pfn);
+    // Fault cost, no backing read.  Sibling sharing (populate_host ==
+    // false) adds no host frames — the host already backs the image for
+    // another VM; migration-landed bytes need frames of their own.
+    result.latency += cost().fault_folio_fixed + cost().fault_page;
+    if (populate_host) {
+      const DurationNs nested = PopulateHostBacking(pfn, 1, now);
+      result.nested += nested;
+      result.latency += nested;
+    }
+    result.bytes += kPageSize;
+  }
+  page_cache_.CountAdopted(file_id, result.bytes);
+  return result;
+}
+
+uint64_t GuestKernel::DropFileCache(int32_t file_id, TimeNs now) {
+  uint64_t dropped_pages = 0;
+  uint64_t unpop_pages = 0;
+  const uint64_t pages = page_cache_.FilePages(file_id);
+  for (uint64_t idx = 0; idx < pages; ++idx) {
+    if (!page_cache_.Cached(file_id, idx)) {
+      continue;
+    }
+    const Pfn pfn = page_cache_.Remove(file_id, idx);
+    Page& p = memmap_->page(pfn);
+    if (p.host_populated) {
+      p.host_populated = false;
+      ++unpop_pages;
+    }
+    zones_[static_cast<size_t>(p.zone_id)]->Free(pfn);
+    ++dropped_pages;
+  }
+  if (unpop_pages > 0) {
+    hv_->MadviseRelease(vm_, PagesToBytes(unpop_pages), now);
+  }
+  return PagesToBytes(dropped_pages);
 }
 
 uint64_t GuestKernel::FreeAnon(Pid pid, uint64_t bytes) {

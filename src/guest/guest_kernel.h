@@ -84,6 +84,7 @@ class GuestKernel : public OwnerRegistry, public VirtioMemHooks {
   VirtioMemDevice& virtio_mem() { return *virtio_; }
   BalloonDevice& balloon() { return *balloon_; }
   PageCache& page_cache() { return page_cache_; }
+  const PageCache& page_cache() const { return page_cache_; }
   Hypervisor& hypervisor() { return *hv_; }
   VmId vm_id() const { return vm_; }
   const GuestConfig& config() const { return config_; }
@@ -112,9 +113,27 @@ class GuestKernel : public OwnerRegistry, public VirtioMemHooks {
   // On allocation failure the process is OOM-killed (result.oom).
   TouchResult TouchAnon(Pid pid, uint64_t bytes, TimeNs now);
   // Reads `bytes` from the head of `file_id`: page-cache hits are remapped
-  // cheaply, misses pay IO + allocation.  File pages are shared across
-  // processes.
+  // cheaply, misses pay the file's backing read (cold backing-store IO,
+  // or the page cache's per-file override — e.g. a peer-host fetch when
+  // the cluster dependency cache holds the image warm) + allocation.
+  // File pages are shared across processes.
   TouchResult TouchFile(Pid pid, int32_t file_id, uint64_t bytes, TimeNs now);
+
+  // --- Shared dependency image adoption/eviction (cluster dep cache) ---------
+  // Maps `file_id`'s not-yet-cached pages straight out of a host-held
+  // copy of the image: guest pages are allocated and inserted into the
+  // page cache at fault cost with no backing read.  `populate_host`
+  // distinguishes the two sources — false when a sibling VM's frames
+  // already back the image (sharing, no new host memory), true when the
+  // bytes just arrived from another host (a migration landed them; they
+  // need frames of their own).  Returns the bytes adopted; stops early
+  // (partial adoption) if the file zone fills.
+  TouchResult AdoptFileCache(int32_t file_id, TimeNs now, bool populate_host = false);
+  // Drops every cached page of `file_id` (the registry evicted the
+  // image): page-cache entries are removed, their guest pages freed, and
+  // their host backing released in one madvise span.  The next touch
+  // faults the file back in cold.  Returns the bytes dropped.
+  uint64_t DropFileCache(int32_t file_id, TimeNs now);
   // Frees up to `bytes` of the process's anonymous memory (LIFO).
   uint64_t FreeAnon(Pid pid, uint64_t bytes);
 

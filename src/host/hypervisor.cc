@@ -61,6 +61,18 @@ DurationNs Hypervisor::BalloonRelease(VmId vm, uint64_t pages, TimeNs now) {
   return latency;
 }
 
+DurationNs Hypervisor::MadviseRelease(VmId vm, uint64_t populated_bytes, TimeNs now) {
+  VmStats& s = vms_[static_cast<size_t>(vm)];
+  const DurationNs latency = cost_->vm_exit;
+  s.exits += 1;
+  s.exit_time += latency;
+  assert(s.populated_bytes >= populated_bytes);
+  s.populated_bytes -= populated_bytes;
+  host_->Unpopulate(populated_bytes, now);
+  ChargeHostThread(vm, now, latency);
+  return latency;
+}
+
 void Hypervisor::ReleaseAllPopulated(VmId vm, TimeNs now) {
   VmStats& s = vms_[static_cast<size_t>(vm)];
   host_->Unpopulate(s.populated_bytes, now);

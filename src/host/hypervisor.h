@@ -51,6 +51,10 @@ class Hypervisor {
   // charged by the balloon device; this handles release accounting).
   DurationNs BalloonRelease(VmId vm, uint64_t pages, TimeNs now);
 
+  // Host release of an arbitrary populated span in one madvise call
+  // (dropping an evicted shared dependency image): VM exit + MADV_DONTNEED.
+  DurationNs MadviseRelease(VmId vm, uint64_t populated_bytes, TimeNs now);
+
   // VM teardown: releases all populated memory (1:1 model scale-down).
   void ReleaseAllPopulated(VmId vm, TimeNs now);
 

@@ -8,6 +8,7 @@
 #define SQUEEZY_MM_PAGE_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -38,11 +39,37 @@ class PageCache {
   uint64_t total_cached_pages() const { return total_cached_; }
   uint64_t total_cached_bytes() const { return PagesToBytes(total_cached_); }
 
+  // --- Backing source (cross-host shared dependency cache) -------------------
+  // Per-file resolver of the cold-miss backing cost in ns per 1000 bytes;
+  // < 0 means the cost model's backing-store IO rate.  The FaaS runtime
+  // installs one on dependency files that answers from the live registry
+  // — the network rate exactly while a peer host holds the image warm —
+  // so the charge can never go stale between admission and fault time.
+  void SetBackingResolver(int32_t file, std::function<DurationNs()> resolver) {
+    files_[file].backing_resolver = std::move(resolver);
+  }
+  DurationNs backing_cost(int32_t file) const {
+    const File& f = files_[file];
+    return f.backing_resolver ? f.backing_resolver() : -1;
+  }
+  // Cold-miss read accounting, split by source (disk IO vs. peer fetch vs.
+  // pages adopted from a host-resident image without any read at all).
+  void CountDiskRead(int32_t file, uint64_t bytes) { files_[file].disk_read_bytes += bytes; }
+  void CountRemoteRead(int32_t file, uint64_t bytes) { files_[file].remote_read_bytes += bytes; }
+  void CountAdopted(int32_t file, uint64_t bytes) { files_[file].adopted_bytes += bytes; }
+  uint64_t disk_read_bytes(int32_t file) const { return files_[file].disk_read_bytes; }
+  uint64_t remote_read_bytes(int32_t file) const { return files_[file].remote_read_bytes; }
+  uint64_t adopted_bytes(int32_t file) const { return files_[file].adopted_bytes; }
+
  private:
   struct File {
     std::string name;
     uint64_t size_bytes = 0;
     uint64_t cached = 0;
+    std::function<DurationNs()> backing_resolver;  // Unset: disk IO default.
+    uint64_t disk_read_bytes = 0;
+    uint64_t remote_read_bytes = 0;
+    uint64_t adopted_bytes = 0;
     std::vector<Pfn> pages;  // Indexed by page_idx; kInvalidPfn = absent.
   };
   std::vector<File> files_;

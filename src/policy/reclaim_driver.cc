@@ -1,8 +1,20 @@
 #include "src/policy/reclaim_driver.h"
 
+#include "src/host/host_memory.h"
 #include "src/sim/event_queue.h"
 
 namespace squeezy {
+
+void ReclaimDriver::OnImageResident(int /*fn*/, uint64_t /*image_bytes*/,
+                                    bool /*already_resident*/) {}
+
+void ReclaimDriver::OnImageEvict(int /*fn*/, uint64_t image_bytes) {
+  if (image_bytes == 0) {
+    return;
+  }
+  host_->memory().ReleaseReservation(image_bytes, host_->events().now());
+  host_->TryServePending();
+}
 
 void ReclaimDriver::OnUnplugIncomplete(int fn, uint64_t leftover) {
   // Whatever the request failed to reclaim stays plugged (and committed);

@@ -122,6 +122,24 @@ class ReclaimDriver {
   // Whether the runtime should attach a SqueezyManager to each VM.
   virtual bool UsesSqueezy() const { return false; }
 
+  // --- Shared dependency images (cluster dep cache) ---------------------------------
+  // Whether the driver's deps region is a read-only payload shareable
+  // across VMs and hosts.  When true AND a DepImageRegistry is attached
+  // to the runtime, DriverSizing::deps_region is charged once per host
+  // per image instead of once per VM.  Static/VirtioMem keep their
+  // per-VM behavior (and stay bit-identical) by leaving this false.
+  virtual bool SharedDepsSupported() const { return false; }
+  // The registry pinned fn's image on this host: `already_resident` says
+  // whether this VM joined an existing residency (its deps charge was
+  // skipped) or established it (the charge is the caller's).  Default:
+  // nothing to do.
+  virtual void OnImageResident(int fn, uint64_t image_bytes, bool already_resident);
+  // The registry released fn's image residency (host drain / zero refs
+  // under pressure): return its commitment to the host book.  Default:
+  // immediate release, then retry starved scale-ups — the shared region
+  // is read-only and clean, so there is nothing to migrate or zero.
+  virtual void OnImageEvict(int fn, uint64_t image_bytes);
+
   // --- Per-VM lifecycle ------------------------------------------------------------
   // Called once per VM right after guest construction, before the host
   // commitment is reserved; performs the driver's boot-time plug.

@@ -19,6 +19,9 @@ class SqueezyDriver : public VirtioMemDriver {
 
   uint64_t HotplugRegionBytes(const DriverSizing& s) const override;
   bool UsesSqueezy() const override { return true; }
+  // The shared boot partition is exactly a read-only dependency image:
+  // cluster-wide sharing is the natural extension of shared_bytes.
+  bool SharedDepsSupported() const override { return true; }
 
   // The SqueezyManager plugs the shared partition in its constructor;
   // nothing further to do at boot.

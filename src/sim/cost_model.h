@@ -113,6 +113,16 @@ struct CostModel {
   // is busy; scaled down by the replica's busy fraction at capture time.
   double migrate_dirty_frac = 0.25;
 
+  // --- Cross-host shared dependency cache (TrEnv-X-style) -------------------
+  // Fetching dependency bytes from a peer host's resident image over the
+  // wire: network speed (~2.5 GB/s, same fabric as migration) instead of
+  // the ~600 MB/s cold backing-store read — the cold-IO-skip path.
+  DurationNs dep_fetch_byte_x1000 = 400;
+  // Dep-cache hit on migration: the destination already holds the image,
+  // so deps_bytes never crosses the wire; the transfer pays only this
+  // fixed registry-lookup + mapping-attach cost.
+  DurationNs dep_cache_hit_fixed = Msec(1);
+
   // --- Misc -----------------------------------------------------------------
   // Reading container rootfs / dependencies from backing store when the
   // page cache misses (cold IO), per byte.  ~600 MB/s effective.
@@ -129,6 +139,9 @@ struct CostModel {
   }
   DurationNs NetBytes(uint64_t bytes) const {
     return static_cast<DurationNs>(bytes) * migrate_net_byte_x1000 / 1000;
+  }
+  DurationNs DepFetchBytes(uint64_t bytes) const {
+    return static_cast<DurationNs>(bytes) * dep_fetch_byte_x1000 / 1000;
   }
   // One pre-copy state transfer of `state_bytes` of touched replica state.
   // `dirty_frac` is the per-round redirty fraction for THIS transfer

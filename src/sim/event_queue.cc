@@ -11,7 +11,7 @@ EventId EventQueue::ScheduleAt(TimeNs when, std::function<void()> fn) {
   }
   const EventId id = next_id_++;
   heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
-  ++live_count_;
+  live_.insert(id);
   return id;
 }
 
@@ -21,19 +21,10 @@ EventId EventQueue::ScheduleAfter(DurationNs delay, std::function<void()> fn) {
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (id == kInvalidEventId) {
-    return false;
-  }
-  // Lazy deletion: remember the id, skip it when popped.
-  if (cancelled_.insert(id).second) {
-    if (live_count_ == 0) {
-      cancelled_.erase(id);
-      return false;
-    }
-    --live_count_;
-    return true;
-  }
-  return false;
+  // Lazy deletion: forget the id, skip its entry when popped.  Only an
+  // issued-and-still-live id cancels; already-run, already-cancelled and
+  // never-issued ids (including kInvalidEventId) are no-ops.
+  return live_.erase(id) > 0;
 }
 
 void EventQueue::AdvanceBy(DurationNs d) {
@@ -45,10 +36,9 @@ bool EventQueue::RunOne() {
   while (!heap_.empty()) {
     Entry top = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();
-    if (cancelled_.erase(top.id) > 0) {
-      continue;  // Tombstone.
+    if (live_.erase(top.id) == 0) {
+      continue;  // Cancelled tombstone.
     }
-    --live_count_;
     if (top.when > now_) {
       now_ = top.when;
     }
@@ -61,9 +51,8 @@ bool EventQueue::RunOne() {
 void EventQueue::RunUntil(TimeNs deadline) {
   while (!heap_.empty()) {
     const Entry& top = heap_.top();
-    if (cancelled_.count(top.id) > 0) {
-      cancelled_.erase(top.id);
-      heap_.pop();
+    if (live_.count(top.id) == 0) {
+      heap_.pop();  // Cancelled tombstone.
       continue;
     }
     if (top.when > deadline) {

@@ -33,8 +33,9 @@ class EventQueue {
   // Schedules `fn` to run `delay` after the current virtual time.
   EventId ScheduleAfter(DurationNs delay, std::function<void()> fn);
 
-  // Cancels a pending event.  Returns false if it already ran or was
-  // cancelled.  Cancelling kInvalidEventId is a no-op.
+  // Cancels a pending event.  Returns false if it already ran, was
+  // cancelled, or was never issued.  Cancelling kInvalidEventId is a
+  // no-op.
   bool Cancel(EventId id);
 
   // Advances the clock without running events (used by synchronous cost
@@ -50,8 +51,8 @@ class EventQueue {
   // `max_events` guards against runaway self-rescheduling loops.
   void RunAll(uint64_t max_events = 50'000'000);
 
-  bool empty() const { return live_count_ == 0; }
-  size_t pending() const { return live_count_; }
+  bool empty() const { return live_.empty(); }
+  size_t pending() const { return live_.size(); }
 
  private:
   struct Entry {
@@ -75,9 +76,12 @@ class EventQueue {
   TimeNs now_ = 0;
   uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
-  size_t live_count_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+  // Ids issued and neither run nor cancelled yet.  Ids are unique and
+  // never reused, so a popped heap entry whose id is absent here is a
+  // cancellation tombstone — no separate cancelled set that could leak
+  // entries for already-run or never-issued ids.
+  std::unordered_set<EventId> live_;
 };
 
 }  // namespace squeezy

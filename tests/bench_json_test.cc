@@ -1,0 +1,57 @@
+// BenchJson must emit valid JSON even for non-finite inputs: bare
+// nan/inf tokens are not JSON, and an unquoted "nan" cell silently
+// poisons every downstream consumer of bench_results/BENCH_*.json.  (CI
+// additionally runs python3 -m json.tool over every uploaded artifact.)
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace squeezy {
+namespace {
+
+std::string WriteAndRead(BenchJson& json) {
+  const std::string path = json.Write();
+  EXPECT_FALSE(path.empty());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(BenchJsonTest, NonFiniteMetricsBecomeNull) {
+  BenchJson json("json_fixture_metrics");
+  json.Metric("ratio_nan", std::nan(""));
+  json.Metric("ratio_inf", std::numeric_limits<double>::infinity());
+  json.Metric("ratio_neg_inf", -std::numeric_limits<double>::infinity());
+  json.Metric("ratio_ok", 1.5);
+  const std::string out = WriteAndRead(json);
+  EXPECT_NE(out.find("\"ratio_nan\": null"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"ratio_inf\": null"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"ratio_neg_inf\": null"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"ratio_ok\": 1.5"), std::string::npos) << out;
+}
+
+TEST(BenchJsonTest, NonFiniteLookingCellsStayQuoted) {
+  BenchJson json("json_fixture_cells");
+  json.SetColumns({"name", "value"});
+  json.AddRow({"nan", "inf"});
+  json.AddRow({"-inf", "1.5"});
+  const std::string out = WriteAndRead(json);
+  // istream happily parses nan/inf as doubles; the numeric sniff must
+  // still quote them because they are not JSON number tokens.
+  EXPECT_NE(out.find("[\"nan\", \"inf\"]"), std::string::npos) << out;
+  EXPECT_NE(out.find("[\"-inf\", 1.5]"), std::string::npos) << out;
+  // No bare nan/inf token anywhere: every occurrence is inside quotes.
+  for (const char* bad : {": nan", ": inf", " nan,", " inf,", "[nan", "[inf"}) {
+    EXPECT_EQ(out.find(bad), std::string::npos) << bad << " in " << out;
+  }
+}
+
+}  // namespace
+}  // namespace squeezy

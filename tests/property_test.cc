@@ -2,6 +2,7 @@
 // invariants of DESIGN.md §6 must survive arbitrary operation sequences.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -379,6 +380,144 @@ INSTANTIATE_TEST_SUITE_P(
                  ? "squeezy_s" + std::to_string(std::get<1>(info.param))
                  : "virtio_s" + std::to_string(std::get<1>(info.param));
     });
+
+// --- Dep-cache fuzz: image residency invariants under drain/migrate churn -------
+
+// Same drain/migrate/undrain storm, now with the cluster-wide shared
+// dependency cache on.  Every function uses the SAME spec, so all four
+// cluster functions intern to ONE image per host — the boot-dedup,
+// sibling-adoption and eviction/re-charge paths all fire.  Invariants:
+//   * book conservation per host at every step, including
+//     populated <= committed (an image eviction that released commitment
+//     without dropping its host backing would break this);
+//   * refcount conservation: an image's refcount on a host equals the
+//     memory-granted instances of every VM pinned to it, at every step;
+//   * population implies residency;
+//   * at quiescence the host book is exactly VM bases + plugged units
+//     (none) + the registry's charged bytes — nothing leaked in either
+//     direction across boot dedups, evictions and re-charges.
+class DepCacheFuzzTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(DepCacheFuzzTest, ResidencyRefcountsAndBooksConserved) {
+  const uint64_t seed = GetParam();
+  constexpr int kFunctions = 4;
+  constexpr uint32_t kConcurrency = 8;
+
+  ClusterConfig cfg;
+  cfg.nr_hosts = 4;
+  cfg.placement = PlacementPolicy::kMemoryAwareBinPack;
+  cfg.migration = MigrationMode::kMigrateOnDrain;
+  cfg.pressure_migrate_min_pending = 1;
+  cfg.shared_dep_cache = true;
+  cfg.host.policy = ReclaimPolicy::kSqueezy;
+  cfg.host.host_capacity = MiB(2560);
+  cfg.host.vm_base_memory = MiB(128);
+  cfg.host.keep_alive = Sec(30);
+  cfg.host.pressure_check_period = Msec(500);
+  cfg.host.seed = seed;
+  Cluster cluster(cfg);
+
+  FunctionSpec spec;
+  spec.name = "depfuzz";
+  spec.vcpu_shares = 1.0;
+  spec.memory_limit = MiB(256);
+  spec.anon_working_set = MiB(96);
+  spec.file_deps_bytes = MiB(64);
+  spec.container_init_cpu = Msec(80);
+  spec.function_init_cpu = Msec(120);
+  spec.exec_cpu_mean = Msec(100);
+  spec.exec_cv = 0.0;
+
+  std::vector<uint64_t> base_commit(cluster.host_count(), 0);
+  for (int f = 0; f < kFunctions; ++f) {
+    const int fn = cluster.AddFunction(spec, kConcurrency);
+    for (const Replica& r : cluster.replicas(fn)) {
+      base_commit[r.host] += cfg.host.vm_base_memory;
+    }
+  }
+  const DepCache& cache = *cluster.dep_cache();
+
+  ClusterTraceConfig trace;
+  trace.duration = Minutes(6);
+  trace.nr_functions = kFunctions;
+  trace.total_base_rate_per_sec = 2.0;
+  trace.zipf_s = 1.2;
+  trace.bursty_fraction = 0.5;
+  trace.burst_multiplier = 30.0;
+  trace.mean_burst_len = Sec(20);
+  trace.mean_gap = Sec(60);
+  cluster.SubmitTrace(GenerateClusterTrace(trace, seed));
+
+  auto check_residency = [&](int step) {
+    for (size_t h = 0; h < cluster.host_count(); ++h) {
+      const FaasRuntime& host = cluster.host(h);
+      ASSERT_LE(host.committed(), host.host_capacity()) << "step " << step;
+      ASSERT_LE(host.host().populated(), host.committed()) << "step " << step;
+      // Refcount conservation per image on this host: the image's refs
+      // must equal the granted instances of every VM pinned to it.
+      std::map<DepImageId, uint64_t> granted;
+      for (size_t fn = 0; fn < host.function_count(); ++fn) {
+        const DepImageId img = host.dep_image(static_cast<int>(fn));
+        ASSERT_NE(img, kNoDepImage);
+        granted[img] += host.agent(static_cast<int>(fn)).memory_granted_instances();
+      }
+      for (const auto& [img, want] : granted) {
+        ASSERT_EQ(cache.RefCount(h, img), want) << "host " << h << " step " << step;
+        if (cache.Populated(h, img)) {
+          ASSERT_TRUE(cache.Resident(h, img)) << "host " << h << " step " << step;
+        }
+        if (want > 0) {
+          ASSERT_TRUE(cache.Resident(h, img))
+              << "granted instances on an unresident image, host " << h;
+        }
+      }
+    }
+  };
+
+  Rng rng(seed * 6364136223846793005ull + 29);
+  TimeNs t = 0;
+  for (int step = 0; step < 30; ++step) {
+    t += Sec(rng.UniformInt(2, 20));
+    cluster.RunUntil(t);
+    const size_t h =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(cluster.host_count()) - 1));
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        cluster.DrainHost(h);
+        break;
+      case 1:
+        cluster.UndrainHost(h);
+        break;
+      case 2:
+        cluster.MigratePressured();
+        break;
+      case 3:
+        break;
+    }
+    check_residency(step);
+  }
+
+  cluster.RunAll();
+  check_residency(999);
+  EXPECT_EQ(cluster.migrations_in_flight(), 0u);
+  for (size_t h = 0; h < cluster.host_count(); ++h) {
+    const FaasRuntime& host = cluster.host(h);
+    // Quiescence: every instance reaped, every unplug done — the book is
+    // exactly the VM bases plus whatever image residencies survived.
+    EXPECT_EQ(host.committed(), base_commit[h] + cache.charged_bytes(h))
+        << "host " << h;
+    EXPECT_LE(host.host().populated(), host.committed());
+    for (size_t fn = 0; fn < host.function_count(); ++fn) {
+      EXPECT_EQ(host.agent(static_cast<int>(fn)).live_instances(), 0u);
+      EXPECT_EQ(cache.RefCount(h, host.dep_image(static_cast<int>(fn))), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DepCacheFuzzTest, testing::Values(1u, 2u, 3u, 4u, 5u, 6u),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace squeezy

@@ -224,6 +224,69 @@ TEST(EventQueueTest, CancelInvalidIdIsNoop) {
   EXPECT_FALSE(q.Cancel(9999));
 }
 
+TEST(EventQueueTest, CancelAfterRunReturnsFalseAndConservesPending) {
+  EventQueue q;
+  const EventId ran = q.ScheduleAt(Sec(1), [] {});
+  const EventId live = q.ScheduleAt(Sec(5), [] {});
+  q.RunUntil(Sec(2));
+  ASSERT_EQ(q.pending(), 1u);
+  // The documented contract: cancelling an already-run id must fail and
+  // leave the books alone (the old lazy-tombstone set decremented
+  // live_count_ here, making pending()/empty() lie forever after).
+  EXPECT_FALSE(q.Cancel(ran));
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.empty());
+  EXPECT_TRUE(q.Cancel(live));
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelBogusIdDoesNotCorruptBooks) {
+  EventQueue q;
+  bool ran = false;
+  q.ScheduleAt(Sec(1), [&] { ran = true; });
+  EXPECT_FALSE(q.Cancel(424242));  // Never issued.
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunAll();
+  EXPECT_TRUE(ran);  // A bogus cancel must not tombstone a real event.
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueTest, DoubleCancelSecondFails) {
+  EventQueue q;
+  const EventId a = q.ScheduleAt(Sec(1), [] {});
+  q.ScheduleAt(Sec(2), [] {});
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.Cancel(a));  // Second cancel: no-op, books unchanged.
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunAll();
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueTest, PendingStaysConservedAcrossMixedOps) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(q.ScheduleAt(Sec(i + 1), [] {}));
+  }
+  EXPECT_EQ(q.pending(), 8u);
+  EXPECT_TRUE(q.Cancel(ids[3]));
+  EXPECT_TRUE(q.Cancel(ids[6]));
+  EXPECT_FALSE(q.Cancel(ids[3]));
+  EXPECT_EQ(q.pending(), 6u);
+  q.RunUntil(Sec(4));  // Runs 1, 2, 3 (4 was cancelled).
+  EXPECT_EQ(q.pending(), 3u);
+  EXPECT_FALSE(q.Cancel(ids[0]));  // Already ran.
+  EXPECT_FALSE(q.Cancel(ids[6]));  // Already cancelled.
+  EXPECT_FALSE(q.Cancel(999999));  // Never issued.
+  EXPECT_EQ(q.pending(), 3u);
+  q.RunAll();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueueTest, RunUntilStopsAtDeadline) {
   EventQueue q;
   std::vector<int> order;

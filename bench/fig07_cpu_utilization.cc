@@ -177,11 +177,17 @@ int main() {
   CsvWriter csv("bench_results/fig07_cpu_utilization.csv",
                 {"half_second", "balloon_guest", "balloon_host", "virtio_guest", "virtio_host",
                  "squeezy_guest", "squeezy_host"});
+  BenchJson json("fig07_cpu_utilization");
+  json.SetColumns({"half_second", "balloon_guest", "balloon_host", "virtio_guest",
+                   "virtio_host", "squeezy_guest", "squeezy_host"});
   for (size_t s = 0; s < balloon.guest.size(); ++s) {
-    csv.AddRow({std::to_string(s), TablePrinter::Num(balloon.guest[s], 1),
-                TablePrinter::Num(balloon.host[s], 1), TablePrinter::Num(virtio.guest[s], 1),
-                TablePrinter::Num(virtio.host[s], 1), TablePrinter::Num(squeezy.guest[s], 1),
-                TablePrinter::Num(squeezy.host[s], 1)});
+    const std::vector<std::string> row = {
+        std::to_string(s), TablePrinter::Num(balloon.guest[s], 1),
+        TablePrinter::Num(balloon.host[s], 1), TablePrinter::Num(virtio.guest[s], 1),
+        TablePrinter::Num(virtio.host[s], 1), TablePrinter::Num(squeezy.guest[s], 1),
+        TablePrinter::Num(squeezy.host[s], 1)};
+    csv.AddRow(row);
+    json.AddRow(row);
   }
 
   TablePrinter table({"Method", "Guest mean%", "Guest peak%", "Host mean%", "Host peak%"});
@@ -196,6 +202,13 @@ int main() {
                 TablePrinter::Num(MeanOf(squeezy.host), 1),
                 TablePrinter::Num(MaxOf(squeezy.host), 1)});
   table.Print(std::cout);
-  std::cout << "\nPer-second timelines: bench_results/fig07_cpu_utilization.csv\n";
+  json.Metric("balloon_host_peak_pct", MaxOf(balloon.host));
+  json.Metric("virtio_guest_peak_pct", MaxOf(virtio.guest));
+  json.Metric("virtio_guest_mean_pct", MeanOf(virtio.guest));
+  json.Metric("squeezy_guest_peak_pct", MaxOf(squeezy.guest));
+  json.Metric("squeezy_host_peak_pct", MaxOf(squeezy.host));
+  const std::string json_path = json.Write();
+  std::cout << "\nPer-second timelines: bench_results/fig07_cpu_utilization.csv\nJSON: "
+            << json_path << "\n";
   return 0;
 }

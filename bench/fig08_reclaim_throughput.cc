@@ -67,18 +67,26 @@ int main() {
   TablePrinter table({"Function", "Virtio-mem (MiB/s)", "Squeezy (MiB/s)", "Speedup"});
   CsvWriter csv("bench_results/fig08_reclaim_throughput.csv",
                 {"function", "virtio_mibps", "squeezy_mibps", "speedup"});
+  BenchJson json("fig08_reclaim_throughput");
+  json.SetColumns({"function", "virtio_mibps", "squeezy_mibps", "speedup"});
   std::vector<double> speedups;
   for (size_t i = 0; i < specs.size(); ++i) {
     const double ratio = vanilla[i] > 0 ? squeezy[i] / vanilla[i] : 0.0;
     speedups.push_back(ratio);
     table.AddRow({specs[i].name, TablePrinter::Num(vanilla[i], 0),
                   TablePrinter::Num(squeezy[i], 0), Ratio(ratio)});
-    csv.AddRow({specs[i].name, TablePrinter::Num(vanilla[i], 1),
-                TablePrinter::Num(squeezy[i], 1), TablePrinter::Num(ratio)});
+    const std::vector<std::string> row = {specs[i].name, TablePrinter::Num(vanilla[i], 1),
+                                          TablePrinter::Num(squeezy[i], 1),
+                                          TablePrinter::Num(ratio)};
+    csv.AddRow(row);
+    json.AddRow(row);
   }
   table.AddRule();
   table.AddRow({"Geomean", "", "", Ratio(Geomean(speedups))});
   table.Print(std::cout);
-  std::cout << "\n(paper geomean: ~7x)\nCSV: bench_results/fig08_reclaim_throughput.csv\n";
+  json.Metric("throughput_speedup_geomean", Geomean(speedups));
+  const std::string json_path = json.Write();
+  std::cout << "\n(paper geomean: ~7x)\nCSV: bench_results/fig08_reclaim_throughput.csv\nJSON: "
+            << json_path << "\n";
   return 0;
 }

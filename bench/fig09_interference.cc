@@ -6,6 +6,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -141,6 +142,8 @@ int main() {
 
   CsvWriter csv("bench_results/fig09_interference.csv",
                 {"second", "virtio_ms", "squeezy_ms"});
+  BenchJson json("fig09_interference");
+  json.SetColumns({"second", "virtio_ms", "squeezy_ms"});
   TablePrinter table({"t (s)", "Virtio-mem (ms)", "Squeezy (ms)"});
   double base_vanilla = 0;
   int base_n = 0;
@@ -149,7 +152,10 @@ int main() {
   for (int64_t s = 100; s < 170; ++s) {
     const double v = vanilla.count(s) ? vanilla.at(s) : 0.0;
     const double q = squeezy.count(s) ? squeezy.at(s) : 0.0;
-    csv.AddRow({std::to_string(s), TablePrinter::Num(v, 1), TablePrinter::Num(q, 1)});
+    const std::vector<std::string> row = {std::to_string(s), TablePrinter::Num(v, 1),
+                                          TablePrinter::Num(q, 1)};
+    csv.AddRow(row);
+    json.AddRow(row);
     if (s % 5 == 0) {
       table.AddRow({std::to_string(s), TablePrinter::Num(v, 1), TablePrinter::Num(q, 1)});
     }
@@ -168,7 +174,13 @@ int main() {
             << "Virtio-mem peak during scale-down:   " << TablePrinter::Num(peak_vanilla, 1)
             << " ms (" << Ratio(peak_vanilla / base) << " vs baseline; paper: >2x)\n"
             << "Squeezy peak during scale-down:      " << TablePrinter::Num(peak_squeezy, 1)
-            << " ms (" << Ratio(peak_squeezy / base) << ")\n"
-            << "CSV: bench_results/fig09_interference.csv\n";
+            << " ms (" << Ratio(peak_squeezy / base) << ")\n";
+  json.Metric("cnn_baseline_ms", base);
+  json.Metric("virtio_peak_ms", peak_vanilla);
+  json.Metric("squeezy_peak_ms", peak_squeezy);
+  json.Metric("virtio_slowdown", base > 0 ? peak_vanilla / base : 0.0);
+  json.Metric("squeezy_slowdown", base > 0 ? peak_squeezy / base : 0.0);
+  const std::string json_path = json.Write();
+  std::cout << "CSV: bench_results/fig09_interference.csv\nJSON: " << json_path << "\n";
   return 0;
 }

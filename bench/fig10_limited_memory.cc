@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -140,6 +141,8 @@ int main() {
   TablePrinter table({"Function", "Abundant P99(ms)", "Virtio-mem", "HarvestVM-opts", "Squeezy"});
   CsvWriter csv("bench_results/fig10_p99.csv",
                 {"function", "abundant_ms", "virtio_norm", "harvest_norm", "squeezy_norm"});
+  BenchJson json("fig10_limited_memory");
+  json.SetColumns({"function", "abundant_ms", "virtio_norm", "harvest_norm", "squeezy_norm"});
   std::vector<double> virtio_norms;
   std::vector<double> harvest_norms;
   std::vector<double> squeezy_norms;
@@ -153,8 +156,11 @@ int main() {
     squeezy_norms.push_back(ns);
     table.AddRow({specs[i].name, TablePrinter::Num(ToMsec(abundant.p99[i]), 0), Ratio(nv),
                   Ratio(nh), Ratio(ns)});
-    csv.AddRow({specs[i].name, TablePrinter::Num(ToMsec(abundant.p99[i]), 1),
-                TablePrinter::Num(nv), TablePrinter::Num(nh), TablePrinter::Num(ns)});
+    const std::vector<std::string> row = {
+        specs[i].name, TablePrinter::Num(ToMsec(abundant.p99[i]), 1),
+        TablePrinter::Num(nv), TablePrinter::Num(nh), TablePrinter::Num(ns)};
+    csv.AddRow(row);
+    json.AddRow(row);
   }
   table.AddRule();
   table.AddRow({"Geomean", "1.00x", Ratio(Geomean(virtio_norms)), Ratio(Geomean(harvest_norms)),
@@ -183,6 +189,21 @@ int main() {
                TablePrinter::Num(squeezy.util_timeline[i] / gib),
                TablePrinter::Num(abundant.util_timeline[i] / gib)});
   }
-  std::cout << "CSV: bench_results/fig10_p99.csv, bench_results/fig10_memory_timeline.csv\n";
+  json.Metric("virtio_p99_geomean", Geomean(virtio_norms));
+  json.Metric("harvest_p99_geomean", Geomean(harvest_norms));
+  json.Metric("squeezy_p99_geomean", Geomean(squeezy_norms));
+  json.Metric("squeezy_gib_s", squeezy.gib_seconds);
+  json.Metric("gib_s_saved_vs_virtio_pct",
+              virtio.gib_seconds > 0
+                  ? 100.0 * (1.0 - squeezy.gib_seconds / virtio.gib_seconds)
+                  : 0.0);
+  json.Metric("gib_s_saved_vs_harvest_pct",
+              harvest.gib_seconds > 0
+                  ? 100.0 * (1.0 - squeezy.gib_seconds / harvest.gib_seconds)
+                  : 0.0);
+  json.Metric("virtio_unplug_failures", virtio.unplug_failures);
+  const std::string json_path = json.Write();
+  std::cout << "CSV: bench_results/fig10_p99.csv, bench_results/fig10_memory_timeline.csv\n"
+            << "JSON: " << json_path << "\n";
   return 0;
 }

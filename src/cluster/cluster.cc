@@ -4,7 +4,8 @@
 
 namespace squeezy {
 
-Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), events_(config.queue_impl) {
   assert(config_.nr_hosts > 0);
   if (config_.shared_dep_cache) {
     dep_cache_ = std::make_unique<DepCache>(config_.nr_hosts);

@@ -58,6 +58,12 @@ struct ClusterConfig {
   // populated destination skip deps_bytes on the wire.  Off by default —
   // every existing experiment is bit-identical with it off.
   bool shared_dep_cache = false;
+  // Event-queue implementation for the shared fleet clock.  The timer
+  // wheel is the default; kBinaryHeap preserves the pre-wheel single
+  // priority queue so benches can A/B the kernel at fleet scale.  Both
+  // fire events in identical order (locked by tests), so this knob never
+  // changes results — only wall-clock speed.
+  EventQueue::Impl queue_impl = EventQueue::Impl::kTimerWheel;
 };
 
 class Cluster {

@@ -58,13 +58,24 @@ std::vector<size_t> ClusterScheduler::PlaceFunction(uint64_t boot_commit,
   }
 
   switch (policy_) {
-    case PlacementPolicy::kRoundRobin:
-      // Next `replicas` candidates cyclically from the registration cursor.
-      std::rotate(order.begin(),
-                  order.begin() + static_cast<long>(place_cursor_ % order.size()),
-                  order.end());
-      place_cursor_ += replicas;
+    case PlacementPolicy::kRoundRobin: {
+      // Next `replicas` candidates cyclically from the registration
+      // cursor, which lives in stable host-index space: start from the
+      // first candidate host >= cursor (wrapping), and continue after the
+      // last host actually chosen.  Rotating by cursor % order.size()
+      // over the FILTERED list made the cursor land on different hosts
+      // across calls whenever any host was full or draining, skewing
+      // placement toward low-index hosts.
+      const size_t start = place_cursor_ % hosts_.size();
+      auto first = std::lower_bound(order.begin(), order.end(), start);
+      if (first == order.end()) {
+        first = order.begin();  // Every candidate is below the cursor: wrap.
+      }
+      std::rotate(order.begin(), first, order.end());
+      const size_t chosen = std::min(replicas, order.size());
+      place_cursor_ = (order[chosen - 1] + 1) % hosts_.size();
       break;
+    }
     case PlacementPolicy::kLeastCommitted:
       std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
         return snaps[a].committed < snaps[b].committed;

@@ -120,7 +120,11 @@ class ClusterScheduler {
 
   PlacementPolicy policy_;
   std::vector<HostControl*> hosts_;
-  size_t place_cursor_ = 0;            // Registration round-robin.
+  // Registration round-robin cursor, in STABLE host-index space: it
+  // names the next host to start from, never a position in the filtered
+  // candidate list (which shifts whenever a host is full or draining and
+  // skews placement toward low-index hosts).
+  size_t place_cursor_ = 0;
   std::vector<size_t> route_cursor_;   // Per-function routing round-robin.
   std::vector<uint64_t> fn_plug_unit_; // Per-function plug unit (hint sizing).
   uint64_t decisions_ = 0;

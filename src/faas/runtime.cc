@@ -29,7 +29,11 @@ FaasRuntime::FaasRuntime(const RuntimeConfig& config, EventQueue* events)
       events_(events ? events : owned_events_.get()),
       cpu_(Sec(1)),
       host_(config.host_capacity),
-      driver_(MakeReclaimDriver(config)) {
+      driver_(MakeReclaimDriver(config)),
+      pressure_timer_(events_, config.pressure_check_period,
+                      [this] { return PressureTick(); }),
+      drain_timer_(events_, config.pressure_check_period,
+                   [this] { return DrainTick(); }) {
   hv_ = std::make_unique<Hypervisor>(&host_, &cost_, &cpu_);
   driver_->Bind(this);
 }
@@ -359,12 +363,7 @@ void FaasRuntime::EnqueuePending(int fn, std::function<void(DurationNs)> ready) 
   pending_.push_back(PendingScaleUp{fn, std::move(ready)});
 }
 
-void FaasRuntime::ArmPressureTick() {
-  if (!tick_armed_) {
-    tick_armed_ = true;
-    events_->ScheduleAfter(config_.pressure_check_period, [this] { PressureTick(); });
-  }
-}
+void FaasRuntime::ArmPressureTick() { pressure_timer_.Start(); }
 
 void FaasRuntime::TryServePending() {
   for (auto it = pending_.begin(); it != pending_.end();) {
@@ -433,16 +432,13 @@ size_t FaasRuntime::ReapAllIdle() {
   return evicted;
 }
 
-void FaasRuntime::PressureTick() {
-  tick_armed_ = false;
+bool FaasRuntime::PressureTick() {
   // Zero-ref images are reclaimable under pressure even when the last
   // release predated it (the release-path check saw an empty FIFO);
   // freeing them first gives the driver's tick room to serve with.
   MaybeEvictImages();
   driver_->PressureTick();
-  if (!pending_.empty()) {
-    ArmPressureTick();
-  }
+  return !pending_.empty();
 }
 
 bool FaasRuntime::HasMemoryForFresh(int fn) const {
@@ -508,10 +504,7 @@ void FaasRuntime::Drain() {
   // finishing keep theirs referenced until the drain tick reaps them and
   // the release path re-checks).
   MaybeEvictImages();
-  if (!drain_tick_armed_) {
-    drain_tick_armed_ = true;
-    events_->ScheduleAfter(config_.pressure_check_period, [this] { DrainTick(); });
-  }
+  drain_timer_.Start();
 }
 
 void FaasRuntime::Undrain() { draining_ = false; }
@@ -592,18 +585,14 @@ size_t FaasRuntime::AdoptReplica(int local_fn, const ReplicaMigrationState& stat
   return adopted;
 }
 
-void FaasRuntime::DrainTick() {
-  drain_tick_armed_ = false;
+bool FaasRuntime::DrainTick() {
   if (!draining_) {
-    return;
+    return false;
   }
   // Busy instances finish their requests, go idle, and are reaped on the
   // next tick; keep ticking until the host is empty (or undrained).
   ReapAllIdle();
-  if (AnyLiveInstances()) {
-    drain_tick_armed_ = true;
-    events_->ScheduleAfter(config_.pressure_check_period, [this] { DrainTick(); });
-  }
+  return AnyLiveInstances();
 }
 
 bool FaasRuntime::AnyLiveInstances() const {

@@ -240,10 +240,12 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   // their commitment flows back through the driver (OnImageEvict).
   void MaybeEvictImages();
 
-  // Periodic: hands the tick to the driver, re-arms while work remains.
-  void PressureTick();
+  // Periodic tick bodies, driven by the coalesced per-host repeating
+  // timers below (one persistent closure each, re-armed in place).  The
+  // return value is the timer contract: keep firing while work remains.
+  bool PressureTick();
   // Drain loop: reap newly-idle instances until the host is empty.
-  void DrainTick();
+  bool DrainTick();
   bool AnyLiveInstances() const;
 
   RuntimeConfig config_;
@@ -262,9 +264,13 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   uint64_t unplug_incomplete_ = 0;
   uint64_t proactive_reclaims_ = 0;
   uint64_t adopted_instances_ = 0;
-  bool tick_armed_ = false;
   bool draining_ = false;
-  bool drain_tick_armed_ = false;
+  // Per-host periodic work, coalesced: each timer owns its closure once
+  // and re-arms in place every pressure_check_period instead of
+  // scheduling a fresh closure per tick per host (the fleet-scale event
+  // churn the timer wheel exists to absorb).
+  RepeatingTimer pressure_timer_;
+  RepeatingTimer drain_timer_;
 };
 
 }  // namespace squeezy

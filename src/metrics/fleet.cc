@@ -6,6 +6,11 @@ namespace squeezy {
 
 LatencyRecorder MergeLatencies(const std::vector<const LatencyRecorder*>& parts) {
   LatencyRecorder merged;
+  size_t total = 0;
+  for (const LatencyRecorder* part : parts) {
+    total += part->count();
+  }
+  merged.Reserve(total);
   for (const LatencyRecorder* part : parts) {
     for (const DurationNs sample : part->samples()) {
       merged.Record(sample);
@@ -15,21 +20,41 @@ LatencyRecorder MergeLatencies(const std::vector<const LatencyRecorder*>& parts)
 }
 
 StepSeries SumSeries(const std::vector<const StepSeries*>& parts) {
-  // Every input timestamp is a step point of the sum.
-  std::vector<TimeNs> stamps;
-  for (const StepSeries* part : parts) {
-    for (const StepSeries::Point& p : part->points()) {
-      stamps.push_back(p.t);
-    }
-  }
-  std::sort(stamps.begin(), stamps.end());
-  stamps.erase(std::unique(stamps.begin(), stamps.end()), stamps.end());
-
+  // Every input timestamp is a step point of the sum.  One k-way merge
+  // pass: a monotone cursor per part carries its running value forward,
+  // so each input point is visited exactly once.  (The old
+  // sort-all-stamps + At(t) version binary-searched every part at every
+  // stamp — O(total_stamps x parts x log) — which went quadratic-ish on
+  // 64-host fleets.)  Per output stamp the part values are added in part
+  // order, exactly like the At(t) loop, so the result is bit-identical.
   StepSeries sum;
-  for (const TimeNs t : stamps) {
+  const size_t k = parts.size();
+  std::vector<size_t> next(k, 0);      // Cursor into each part's points.
+  std::vector<double> value(k, 0.0);   // Running value (0 before first point).
+  for (;;) {
+    // Earliest unconsumed timestamp across the parts.
+    TimeNs t = 0;
+    bool have = false;
+    for (size_t p = 0; p < k; ++p) {
+      const std::vector<StepSeries::Point>& pts = parts[p]->points();
+      if (next[p] < pts.size() && (!have || pts[next[p]].t < t)) {
+        t = pts[next[p]].t;
+        have = true;
+      }
+    }
+    if (!have) {
+      break;
+    }
+    for (size_t p = 0; p < k; ++p) {
+      const std::vector<StepSeries::Point>& pts = parts[p]->points();
+      while (next[p] < pts.size() && pts[next[p]].t == t) {
+        value[p] = pts[next[p]].value;
+        ++next[p];
+      }
+    }
     double v = 0.0;
-    for (const StepSeries* part : parts) {
-      v += part->At(t);
+    for (size_t p = 0; p < k; ++p) {
+      v += value[p];
     }
     sum.Push(t, v);
   }

@@ -14,6 +14,8 @@ namespace squeezy {
 class LatencyRecorder {
  public:
   void Record(DurationNs sample);
+  // Pre-sizes the sample store (fleet merges know the total up front).
+  void Reserve(size_t n) { samples_.reserve(n); }
 
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }

@@ -1,16 +1,31 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace squeezy {
+namespace {
+
+// Compaction trigger floor: below this the tombstone overhead is noise
+// and compacting every few cancels would thrash.
+constexpr size_t kCompactMinStored = 64;
+
+}  // namespace
+
+EventQueue::EventQueue(Impl impl) : use_wheel_(impl == Impl::kTimerWheel) {
+  if (use_wheel_) {
+    fine_slots_.resize(kFineSlots);
+    coarse_slots_.resize(kCoarseSlots);
+  }
+}
 
 EventId EventQueue::ScheduleAt(TimeNs when, std::function<void()> fn) {
   if (when < now_) {
     when = now_;
   }
   const EventId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  Insert(Entry{when, next_seq_++, id, std::move(fn)});
   live_.insert(id);
   return id;
 }
@@ -20,11 +35,202 @@ EventId EventQueue::ScheduleAfter(DurationNs delay, std::function<void()> fn) {
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
+void EventQueue::PushFine(Entry e) {
+  const uint64_t tick = FineTickOf(e.when);
+  if (tick < fine_cursor_) {
+    // An event behind the scan position (RunUntil left now_ mid-region):
+    // rewind the cursor so the scan cannot miss it.
+    fine_cursor_ = tick;
+  }
+  std::vector<Entry>& slot = fine_slots_[tick & kFineMask];
+  slot.push_back(std::move(e));
+  std::push_heap(slot.begin(), slot.end(), Later{});
+  ++fine_count_;
+}
+
+void EventQueue::Insert(Entry e) {
+  if (use_wheel_) {
+    const uint64_t region = RegionOf(e.when);
+    if (region == region_) {
+      PushFine(std::move(e));
+      return;
+    }
+    if (region > region_ && region - region_ < kCoarseSlots) {
+      // Far future inside the coarse horizon: O(1) unsorted bucket, to
+      // be dumped into the fine wheel when the clock reaches its region.
+      coarse_slots_[region & kCoarseMask].push_back(std::move(e));
+      ++coarse_count_;
+      return;
+    }
+    // Beyond the coarse horizon, or behind an already-advanced region:
+    // the overflow heap (always consulted by the peek comparison).
+  }
+  overflow_.push_back(std::move(e));
+  std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+}
+
+void EventQueue::CascadeOverflow() {
+  while (!overflow_.empty()) {
+    const uint64_t region = RegionOf(overflow_.front().when);
+    if (region < region_ || region - region_ >= kCoarseSlots) {
+      break;  // Earliest remaining overflow entry is outside the window.
+    }
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    Entry e = std::move(overflow_.back());
+    overflow_.pop_back();
+    if (region == region_) {
+      PushFine(std::move(e));
+    } else {
+      coarse_slots_[region & kCoarseMask].push_back(std::move(e));
+      ++coarse_count_;
+    }
+  }
+}
+
+bool EventQueue::RefillFine() {
+  for (;;) {
+    CascadeOverflow();
+    if (fine_count_ > 0) {
+      return true;
+    }
+    if (coarse_count_ > 0) {
+      // Slide the region forward; dump the next coarse slot we reach.
+      // Every coarse entry lies ahead of region_ and every slot we pass
+      // is drained, so the scan meets the earliest one first.
+      ++region_;
+      fine_cursor_ = region_ << (kCoarseShift - kFineShift);
+      std::vector<Entry>& slot = coarse_slots_[region_ & kCoarseMask];
+      if (!slot.empty()) {
+        coarse_count_ -= slot.size();
+        for (Entry& e : slot) {
+          PushFine(std::move(e));
+        }
+        slot.clear();
+      }
+      continue;  // Cascade again: the window gained a slot at the far end.
+    }
+    if (overflow_.empty()) {
+      return false;
+    }
+    const uint64_t region = RegionOf(overflow_.front().when);
+    if (region <= region_) {
+      // The overflow's earliest entry is behind the current region; it
+      // cannot enter the wheel but wins the peek comparison directly.
+      return false;
+    }
+    // Wheels fully drained and the next work is beyond the coarse
+    // horizon: jump the window to it (nothing behind can be stranded).
+    region_ = region;
+    fine_cursor_ = region_ << (kCoarseShift - kFineShift);
+  }
+}
+
+const EventQueue::Entry* EventQueue::PeekEarliestLive() {
+  for (;;) {
+    // Prune cancelled tombstones off the overflow top.
+    while (!overflow_.empty() && !live_.contains(overflow_.front().id)) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+      overflow_.pop_back();
+    }
+    if (!use_wheel_) {
+      if (overflow_.empty()) {
+        return nullptr;
+      }
+      peek_overflow_ = true;
+      return &overflow_.front();
+    }
+    if (fine_count_ == 0 && !RefillFine()) {
+      // RefillFine() false leaves the wheels empty and overflow
+      // untouched, so the (already pruned) overflow top is the answer.
+      if (overflow_.empty()) {
+        return nullptr;
+      }
+      peek_overflow_ = true;
+      return &overflow_.front();
+    }
+    // Position the fine cursor at the earliest live fine entry.
+    const Entry* fine_top = nullptr;
+    while (fine_count_ > 0) {
+      std::vector<Entry>& slot = fine_slots_[fine_cursor_ & kFineMask];
+      while (!slot.empty() && !live_.contains(slot.front().id)) {
+        std::pop_heap(slot.begin(), slot.end(), Later{});
+        slot.pop_back();
+        --fine_count_;
+      }
+      if (!slot.empty()) {
+        fine_top = &slot.front();
+        break;
+      }
+      ++fine_cursor_;
+    }
+    if (fine_top == nullptr) {
+      continue;  // Tombstones drained the fine wheel: refill and retry.
+    }
+    // Cascading can expose a cancelled overflow top; restart the prune.
+    if (!overflow_.empty() && !live_.contains(overflow_.front().id)) {
+      continue;
+    }
+    if (!overflow_.empty()) {
+      const Entry& o = overflow_.front();
+      if (o.when < fine_top->when ||
+          (o.when == fine_top->when && o.seq < fine_top->seq)) {
+        peek_overflow_ = true;
+        return &overflow_.front();
+      }
+    }
+    peek_overflow_ = false;
+    return fine_top;
+  }
+}
+
+EventQueue::Entry EventQueue::PopPeeked() {
+  if (peek_overflow_) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    Entry e = std::move(overflow_.back());
+    overflow_.pop_back();
+    return e;
+  }
+  std::vector<Entry>& slot = fine_slots_[fine_cursor_ & kFineMask];
+  std::pop_heap(slot.begin(), slot.end(), Later{});
+  Entry e = std::move(slot.back());
+  slot.pop_back();
+  --fine_count_;
+  return e;
+}
+
 bool EventQueue::Cancel(EventId id) {
   // Lazy deletion: forget the id, skip its entry when popped.  Only an
   // issued-and-still-live id cancels; already-run, already-cancelled and
   // never-issued ids (including kInvalidEventId) are no-ops.
-  return live_.erase(id) > 0;
+  if (!live_.erase(id)) {
+    return false;
+  }
+  // Storage bound: a cancel-heavy workload (keep-alive churn) must not
+  // grow the structures — or the closures its tombstones own — without
+  // limit.  Compact once tombstones outnumber live entries.
+  const size_t stored = stored_entries();
+  if (stored >= kCompactMinStored && live_.size() * 2 < stored) {
+    Compact();
+  }
+  return true;
+}
+
+void EventQueue::Compact() {
+  const auto dead = [this](const Entry& e) { return !live_.contains(e.id); };
+  for (std::vector<Entry>& slot : fine_slots_) {
+    const size_t before = slot.size();
+    slot.erase(std::remove_if(slot.begin(), slot.end(), dead), slot.end());
+    fine_count_ -= before - slot.size();
+    std::make_heap(slot.begin(), slot.end(), Later{});
+  }
+  for (std::vector<Entry>& slot : coarse_slots_) {
+    const size_t before = slot.size();
+    slot.erase(std::remove_if(slot.begin(), slot.end(), dead), slot.end());
+    coarse_count_ -= before - slot.size();
+  }
+  overflow_.erase(std::remove_if(overflow_.begin(), overflow_.end(), dead),
+                  overflow_.end());
+  std::make_heap(overflow_.begin(), overflow_.end(), Later{});
 }
 
 void EventQueue::AdvanceBy(DurationNs d) {
@@ -32,33 +238,33 @@ void EventQueue::AdvanceBy(DurationNs d) {
   now_ += d;
 }
 
-bool EventQueue::RunOne() {
-  while (!heap_.empty()) {
-    Entry top = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    if (live_.erase(top.id) == 0) {
-      continue;  // Cancelled tombstone.
-    }
-    if (top.when > now_) {
-      now_ = top.when;
-    }
-    top.fn();
-    return true;
+void EventQueue::RunPeeked() {
+  Entry top = PopPeeked();
+  live_.erase(top.id);
+  if (top.when > now_) {
+    now_ = top.when;
   }
-  return false;
+  ++processed_;
+  top.fn();
+}
+
+bool EventQueue::RunOne() {
+  if (PeekEarliestLive() == nullptr) {
+    return false;
+  }
+  RunPeeked();
+  return true;
 }
 
 void EventQueue::RunUntil(TimeNs deadline) {
-  while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    if (live_.count(top.id) == 0) {
-      heap_.pop();  // Cancelled tombstone.
-      continue;
-    }
-    if (top.when > deadline) {
+  // Peek-then-pop in one pass (RunOne would re-peek what the deadline
+  // check already positioned — measurable at fleet-scale event rates).
+  for (;;) {
+    const Entry* peeked = PeekEarliestLive();
+    if (peeked == nullptr || peeked->when > deadline) {
       break;
     }
-    RunOne();
+    RunPeeked();
   }
   if (now_ < deadline) {
     now_ = deadline;

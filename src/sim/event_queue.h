@@ -3,13 +3,27 @@
 // A single-threaded event queue with a virtual clock.  Events scheduled
 // for the same instant fire in scheduling order (stable), which keeps
 // every experiment bit-deterministic for a given seed.
+//
+// Storage is a hierarchical timer wheel:
+//   * fine wheel  — ~2.1 ms ticks over the current ~2.1 s region; the
+//     hot path (grant latencies, unplug completions, pressure ticks)
+//     inserts and pops here in O(log slot) with tiny slots;
+//   * coarse wheel — ~2.1 s slots over the next ~36 min; bulk far-future
+//     work (upfront trace arrivals, keep-alive timers) lands here O(1)
+//     and cascades into the fine wheel one region at a time, lazily, as
+//     the clock reaches it;
+//   * overflow heap — anything beyond the coarse horizon, plus entries
+//     scheduled behind an already-advanced region; rare, and always
+//     consulted by the peek so order can never be lost.
+// Firing order is a pure function of (timestamp, global scheduling
+// sequence), so the wheel is bit-identical to the single binary heap it
+// replaced; the old heap survives as Impl::kBinaryHeap for A/B
+// benchmarking and as the reference model for the property tests.
 #ifndef SQUEEZY_SIM_EVENT_QUEUE_H_
 #define SQUEEZY_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -19,9 +33,112 @@ namespace squeezy {
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+// Open-addressed set of live event ids (linear probing, backward-shift
+// deletion, power-of-two capacity).  Every event pays one insert, one
+// liveness check and one erase here — on the wheel AND heap paths — so
+// this is the queue's shared constant factor; a flat uint64 table with
+// one multiply-mix hash beats std::unordered_set's node allocations by a
+// wide margin.  EventIds are never 0 (kInvalidEventId), so 0 marks an
+// empty slot and no tombstones are needed.
+class EventIdSet {
+ public:
+  EventIdSet() : table_(kMinCapacity, 0) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool contains(EventId id) const {
+    size_t i = Hash(id) & Mask();
+    while (table_[i] != 0) {
+      if (table_[i] == id) {
+        return true;
+      }
+      i = (i + 1) & Mask();
+    }
+    return false;
+  }
+
+  void insert(EventId id) {
+    if ((size_ + 1) * 2 > table_.size()) {
+      Grow();
+    }
+    size_t i = Hash(id) & Mask();
+    while (table_[i] != 0) {
+      if (table_[i] == id) {
+        return;
+      }
+      i = (i + 1) & Mask();
+    }
+    table_[i] = id;
+    ++size_;
+  }
+
+  bool erase(EventId id) {
+    if (id == kInvalidEventId) {
+      return false;  // 0 is the empty sentinel, never a stored id.
+    }
+    size_t i = Hash(id) & Mask();
+    while (table_[i] != id) {
+      if (table_[i] == 0) {
+        return false;
+      }
+      i = (i + 1) & Mask();
+    }
+    // Backward-shift deletion: pull displaced probe-chain members back
+    // over the hole so lookups never need tombstone markers (this set is
+    // erase-heavy — one erase per event ever scheduled).
+    size_t hole = i;
+    for (size_t j = (i + 1) & Mask(); table_[j] != 0; j = (j + 1) & Mask()) {
+      const size_t home = Hash(table_[j]) & Mask();
+      if (((j - home) & Mask()) >= ((j - hole) & Mask())) {
+        table_[hole] = table_[j];
+        hole = j;
+      }
+    }
+    table_[hole] = 0;
+    --size_;
+    return true;
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 64;
+  static uint64_t Hash(uint64_t x) {
+    // splitmix64 finalizer: sequential ids spread over the whole table.
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+  }
+  size_t Mask() const { return table_.size() - 1; }
+  void Grow() {
+    std::vector<uint64_t> old = std::move(table_);
+    table_.assign(old.size() * 2, 0);
+    for (const uint64_t id : old) {
+      if (id != 0) {
+        size_t i = Hash(id) & Mask();
+        while (table_[i] != 0) {
+          i = (i + 1) & Mask();
+        }
+        table_[i] = id;
+      }
+    }
+  }
+
+  std::vector<uint64_t> table_;
+  size_t size_ = 0;
+};
+
 class EventQueue {
  public:
-  EventQueue() = default;
+  enum class Impl {
+    kTimerWheel,  // Hierarchical wheel + overflow heap (default).
+    kBinaryHeap,  // The pre-wheel single priority queue (bench baseline).
+  };
+
+  EventQueue() : EventQueue(Impl::kTimerWheel) {}
+  explicit EventQueue(Impl impl);
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
@@ -35,7 +152,10 @@ class EventQueue {
 
   // Cancels a pending event.  Returns false if it already ran, was
   // cancelled, or was never issued.  Cancelling kInvalidEventId is a
-  // no-op.
+  // no-op.  Cancellation is lazy (the stored entry becomes a tombstone),
+  // but storage stays bounded: once live entries fall below half of the
+  // stored ones, the tombstones — and the closures they own — are
+  // compacted away instead of lingering until naturally popped.
   bool Cancel(EventId id);
 
   // Advances the clock without running events (used by synchronous cost
@@ -53,6 +173,13 @@ class EventQueue {
 
   bool empty() const { return live_.empty(); }
   size_t pending() const { return live_.size(); }
+  // Entries physically stored (live + not-yet-compacted tombstones);
+  // the cancel-heavy-workload bound locked by tests/sim_test.cc.
+  size_t stored_entries() const {
+    return fine_count_ + coarse_count_ + overflow_.size();
+  }
+  // Events actually executed so far (bench throughput accounting).
+  uint64_t processed_events() const { return processed_; }
 
  private:
   struct Entry {
@@ -70,18 +197,113 @@ class EventQueue {
     }
   };
 
-  // Pops and runs the earliest event; returns false when empty.
+  // Wheel geometry.  Fine: 2^21 ns (~2.1 ms) ticks, 1024 slots — one
+  // region spans 2^31 ns (~2.15 s).  Coarse: one slot per region, 1024
+  // slots (~36.6 min horizon).  The fine region always covers exactly
+  // the coarse tick `region_`.
+  static constexpr int kFineShift = 21;
+  static constexpr int kCoarseShift = 31;
+  static constexpr uint64_t kFineSlots = 1024;
+  static constexpr uint64_t kFineMask = kFineSlots - 1;
+  static constexpr uint64_t kCoarseSlots = 1024;
+  static constexpr uint64_t kCoarseMask = kCoarseSlots - 1;
+  static uint64_t FineTickOf(TimeNs when) {
+    return static_cast<uint64_t>(when) >> kFineShift;
+  }
+  static uint64_t RegionOf(TimeNs when) {
+    return static_cast<uint64_t>(when) >> kCoarseShift;
+  }
+
+  void Insert(Entry e);
+  // Slot-heap push into the fine wheel (rewinds the scan cursor).
+  void PushFine(Entry e);
+  // Moves overflow entries that entered the coarse window into their
+  // slots (current-region entries go straight to the fine wheel).
+  // Entries *before* the window stay put — the peek comparison finds
+  // them there.
+  void CascadeOverflow();
+  // Refills the empty fine wheel: cascades overflow, then advances (or
+  // jumps) the region to the next non-empty coarse slot and dumps it.
+  // Returns whether the fine wheel is non-empty afterwards; false means
+  // the only remaining entries (if any) sit in the overflow heap.
+  bool RefillFine();
+  // Prunes cancelled tombstones, positions the fine cursor at the
+  // wheel's earliest entry, and returns the earliest live entry (wheel
+  // vs overflow decided by (when, seq)) — or nullptr when drained.
+  // Sets peek_overflow_ for PopPeeked.
+  const Entry* PeekEarliestLive();
+  Entry PopPeeked();
+  // Pops and executes the entry PeekEarliestLive just positioned
+  // (shared by RunOne and RunUntil's single-peek fast path).
+  void RunPeeked();
+  // Drops every tombstone from the wheels and overflow (storage bound).
+  void Compact();
+  // Pops and runs the earliest live event; returns false when empty.
   bool RunOne();
 
   TimeNs now_ = 0;
   uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t processed_ = 0;
+  bool use_wheel_ = true;
+  bool peek_overflow_ = false;
+  uint64_t region_ = 0;       // Coarse tick covered by the fine wheel.
+  uint64_t fine_cursor_ = 0;  // Fine-tick scan position within region_.
+  size_t fine_count_ = 0;     // Entries stored across fine slots.
+  size_t coarse_count_ = 0;   // Entries stored across coarse slots.
+  std::vector<std::vector<Entry>> fine_slots_;    // Min-heaps by (when, seq).
+  std::vector<std::vector<Entry>> coarse_slots_;  // Unsorted buckets.
+  std::vector<Entry> overflow_;                   // Min-heap by (when, seq).
   // Ids issued and neither run nor cancelled yet.  Ids are unique and
-  // never reused, so a popped heap entry whose id is absent here is a
+  // never reused, so a stored entry whose id is absent here is a
   // cancellation tombstone — no separate cancelled set that could leak
   // entries for already-run or never-issued ids.
-  std::unordered_set<EventId> live_;
+  EventIdSet live_;
+};
+
+// One persistent closure re-armed in place.  Per-host periodic work
+// (pressure ticks, drain ticks) fires thousands of times per run; a
+// repeating timer keeps ONE stored callback and schedules only a
+// pointer-sized trampoline per period instead of rebuilding the closure
+// every time.  The callback returns whether to re-arm for another
+// period; Start() during the callback (or any time while disarmed)
+// schedules the next firing immediately, exactly like the ad-hoc
+// armed-flag pattern it replaces.
+class RepeatingTimer {
+ public:
+  RepeatingTimer(EventQueue* events, DurationNs period, std::function<bool()> fn)
+      : events_(events), period_(period), fn_(std::move(fn)) {}
+  ~RepeatingTimer() { Stop(); }
+  RepeatingTimer(const RepeatingTimer&) = delete;
+  RepeatingTimer& operator=(const RepeatingTimer&) = delete;
+
+  // Arms the next firing one period from now; no-op while already armed.
+  void Start() {
+    if (pending_ == kInvalidEventId) {
+      pending_ = events_->ScheduleAfter(period_, [this] { Fire(); });
+    }
+  }
+  // Cancels the pending firing (no-op while disarmed).
+  void Stop() {
+    if (pending_ != kInvalidEventId) {
+      events_->Cancel(pending_);
+      pending_ = kInvalidEventId;
+    }
+  }
+  bool armed() const { return pending_ != kInvalidEventId; }
+
+ private:
+  void Fire() {
+    pending_ = kInvalidEventId;  // The callback may Start() mid-body.
+    if (fn_()) {
+      Start();
+    }
+  }
+
+  EventQueue* events_;
+  DurationNs period_;
+  std::function<bool()> fn_;
+  EventId pending_ = kInvalidEventId;
 };
 
 }  // namespace squeezy

@@ -3,6 +3,7 @@
 // routing under skewed load.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -163,6 +164,41 @@ TEST(ClusterTest, BinPackBeatsRoundRobinOnPendingScaleups) {
   const uint64_t round_robin = pending_total(PlacementPolicy::kRoundRobin);
   const uint64_t bin_pack = pending_total(PlacementPolicy::kMemoryAwareBinPack);
   EXPECT_LT(bin_pack, round_robin);
+}
+
+// Round-robin registration must stay fair when host eligibility flaps.
+// The old code rotated the cursor over the FILTERED candidate list, so a
+// host dropping out (full or draining) shifted which hosts later cursor
+// positions mapped to: with host 3 eligible only on even calls, the old
+// rotation placed 10/4/10/0 across hosts 0-3 over 24 single-replica
+// registrations — host 3 starved even when eligible, low-index hosts
+// overloaded.  The cursor now advances in stable host-index space.
+TEST(ClusterTest, RoundRobinPlacementFairUnderFlappingEligibility) {
+  RuntimeConfig rc;
+  rc.host_capacity = GiB(4);
+  std::vector<std::unique_ptr<FaasRuntime>> hosts;
+  std::vector<HostControl*> raw;
+  for (int h = 0; h < 4; ++h) {
+    hosts.push_back(std::make_unique<FaasRuntime>(rc));
+    raw.push_back(hosts.back().get());
+  }
+  ClusterScheduler sched(PlacementPolicy::kRoundRobin, raw);
+  std::vector<int> placed_on(4, 0);
+  for (int i = 0; i < 24; ++i) {
+    if (i % 2 == 1) {
+      hosts[3]->Drain();  // Host 3 ineligible on odd calls.
+    }
+    const std::vector<size_t> placed = sched.PlaceFunction(MiB(1), MiB(1), 1);
+    ASSERT_EQ(placed.size(), 1u);
+    ++placed_on[placed[0]];
+    hosts[3]->Undrain();
+  }
+  // Hosts 0-2 were always eligible, host 3 half the time: everybody gets
+  // a fair share (the exact stable-cursor sequence gives 7/6/6/5).
+  for (int h = 0; h < 4; ++h) {
+    EXPECT_GE(placed_on[h], 5) << "host " << h;
+    EXPECT_LE(placed_on[h], 7) << "host " << h;
+  }
 }
 
 // Registration placement: the bin-packer fills busy hosts first, so with

@@ -1,12 +1,15 @@
 // Unit tests for metrics: latency percentiles, step series, tables, CSV.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/metrics/csv.h"
+#include "src/metrics/fleet.h"
 #include "src/metrics/latency_recorder.h"
 #include "src/metrics/table.h"
 #include "src/metrics/time_series.h"
@@ -118,6 +121,105 @@ TEST(StepSeriesTest, ResampleFixedStep) {
   EXPECT_DOUBLE_EQ(r[1], 1.0);
   EXPECT_DOUBLE_EQ(r[2], 2.0);
   EXPECT_DOUBLE_EQ(r[4], 2.0);
+}
+
+// --- Fleet aggregation --------------------------------------------------------------
+
+// Brute-force reference for SumSeries: the pre-merge definition (every
+// input stamp is a step point; the value is the part-order sum of At(t)).
+// The k-way merge must be BIT-identical to this, not just close.
+StepSeries SumSeriesReference(const std::vector<const StepSeries*>& parts) {
+  std::vector<TimeNs> stamps;
+  for (const StepSeries* part : parts) {
+    for (const StepSeries::Point& p : part->points()) {
+      stamps.push_back(p.t);
+    }
+  }
+  std::sort(stamps.begin(), stamps.end());
+  stamps.erase(std::unique(stamps.begin(), stamps.end()), stamps.end());
+  StepSeries sum;
+  for (const TimeNs t : stamps) {
+    double v = 0.0;
+    for (const StepSeries* part : parts) {
+      v += part->At(t);
+    }
+    sum.Push(t, v);
+  }
+  return sum;
+}
+
+void ExpectBitIdentical(const StepSeries& got, const StepSeries& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.points()[i].t, want.points()[i].t) << "point " << i;
+    // EQ, not NEAR: the merge adds part values in part order, exactly
+    // like the reference, so even the floating-point bits must agree.
+    EXPECT_EQ(got.points()[i].value, want.points()[i].value) << "point " << i;
+  }
+}
+
+TEST(SumSeriesTest, PointwiseSumStepsAtEveryInputStamp) {
+  StepSeries a;
+  a.Push(0, 1.0);
+  a.Push(Sec(10), 3.0);
+  StepSeries b;
+  b.Push(Sec(5), 2.0);
+  b.Push(Sec(10), 4.0);  // Shared stamp with a.
+  b.Push(Sec(20), 0.5);
+  const StepSeries sum = SumSeries({&a, &b});
+  ASSERT_EQ(sum.size(), 4u);
+  EXPECT_DOUBLE_EQ(sum.At(0), 1.0);
+  EXPECT_DOUBLE_EQ(sum.At(Sec(5)), 3.0);
+  EXPECT_DOUBLE_EQ(sum.At(Sec(10)), 7.0);
+  EXPECT_DOUBLE_EQ(sum.At(Sec(20)), 3.5);
+  ExpectBitIdentical(sum, SumSeriesReference({&a, &b}));
+}
+
+TEST(SumSeriesTest, EmptyAndSinglePartEdges) {
+  EXPECT_TRUE(SumSeries({}).empty());
+  StepSeries a;
+  EXPECT_TRUE(SumSeries({&a}).empty());
+  a.Push(Sec(1), 2.5);
+  const StepSeries sum = SumSeries({&a});
+  ASSERT_EQ(sum.size(), 1u);
+  EXPECT_DOUBLE_EQ(sum.At(Sec(1)), 2.5);
+}
+
+TEST(SumSeriesTest, ManyPartsBitIdenticalToReference) {
+  // 64 "hosts" with irregular, partially overlapping stamps and values
+  // chosen to make float addition order matter if it ever changed.
+  std::vector<StepSeries> parts(64);
+  uint64_t x = 0x243f6a8885a308d3ull;  // Deterministic LCG-ish stream.
+  for (size_t p = 0; p < parts.size(); ++p) {
+    TimeNs t = 0;
+    const int points = 20 + static_cast<int>(p % 13);
+    for (int i = 0; i < points; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      t += Msec(1 + static_cast<int64_t>(x % 977));
+      const double v = static_cast<double>((x >> 16) % 1000000) / 3.0;
+      parts[p].Push(t, v);
+    }
+  }
+  std::vector<const StepSeries*> ptrs;
+  for (const StepSeries& s : parts) {
+    ptrs.push_back(&s);
+  }
+  ExpectBitIdentical(SumSeries(ptrs), SumSeriesReference(ptrs));
+}
+
+TEST(MergeLatenciesTest, MergesAllSamplesAcrossParts) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  LatencyRecorder empty;
+  for (int i = 1; i <= 50; ++i) {
+    a.Record(Msec(i));
+    b.Record(Msec(50 + i));
+  }
+  const LatencyRecorder merged = MergeLatencies({&a, &empty, &b});
+  EXPECT_EQ(merged.count(), 100u);
+  EXPECT_EQ(merged.Min(), Msec(1));
+  EXPECT_EQ(merged.Max(), Msec(100));
+  EXPECT_EQ(merged.Percentile(50), Msec(50));
 }
 
 // --- TablePrinter -----------------------------------------------------------------

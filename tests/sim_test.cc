@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/cost_model.h"
@@ -333,6 +335,64 @@ TEST(EventQueueTest, PastDeadlineScheduleClampsToNow) {
   q.ScheduleAt(Sec(1), [&] { fired = q.now(); });
   q.RunAll();
   EXPECT_EQ(fired, Sec(10));
+}
+
+TEST(EventQueueTest, CancelHeavyWorkloadKeepsStorageBounded) {
+  // Lazy cancellation must not grow the queue without bound: tombstones
+  // (and the closures they own) are compacted once they outnumber live
+  // entries, instead of lingering until naturally popped.  The old
+  // behavior kept every cancelled entry until its timestamp drained, so
+  // this loop would have held ~200k dead closures (and their payloads).
+  EventQueue q;
+  auto payload = std::make_shared<int>(7);  // Owned by every dead closure.
+  std::vector<EventId> live;
+  for (int i = 0; i < 16; ++i) {
+    live.push_back(q.ScheduleAt(Minutes(60) + Sec(i), [] {}));
+  }
+  for (int i = 0; i < 200000; ++i) {
+    const EventId id =
+        q.ScheduleAt(Sec(1) + Msec(i % 50000), [payload] { ++*payload; });
+    ASSERT_TRUE(q.Cancel(id));
+    // Live set and storage stay bounded at every step, not just at the end.
+    ASSERT_EQ(q.pending(), 16u);
+    ASSERT_LE(q.stored_entries(), 2 * q.pending() + 64);
+  }
+  // All but the last (not-yet-compacted) few dead closures were freed;
+  // without compaction this would be ~200001.
+  EXPECT_LE(payload.use_count(), 65);
+  q.RunAll();
+  EXPECT_EQ(*payload, 7);  // None of the cancelled events ever ran.
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.stored_entries(), 0u);
+}
+
+TEST(EventQueueTest, CompactionPreservesFiringOrder) {
+  // Force compactions mid-stream and check survivors still fire in exact
+  // (when, seq) order across wheel slots and the overflow heap.
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 512; ++i) {
+    // Mix of near-window and far-future timestamps.
+    const TimeNs when = (i % 3 == 0) ? Msec(10 + i) : Sec(30) + Msec(i);
+    ids.push_back(q.ScheduleAt(when, [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 512; i += 2) {
+    ASSERT_TRUE(q.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  ASSERT_LE(q.stored_entries(), 2 * q.pending() + 64);
+  q.RunAll();
+  ASSERT_EQ(fired.size(), 256u);
+  // Survivors (odd i) must appear in (when, seq) order: rebuild expected.
+  std::vector<std::pair<std::pair<TimeNs, int>, int>> expect;
+  for (int i = 1; i < 512; i += 2) {
+    const TimeNs when = (i % 3 == 0) ? Msec(10 + i) : Sec(30) + Msec(i);
+    expect.push_back({{when, i}, i});
+  }
+  std::sort(expect.begin(), expect.end());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(fired[i], expect[i].second) << i;
+  }
 }
 
 // --- CpuAccountant ----------------------------------------------------------------

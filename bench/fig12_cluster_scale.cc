@@ -37,6 +37,7 @@
 #include "src/faas/function.h"
 #include "src/metrics/csv.h"
 #include "src/metrics/table.h"
+#include "src/policy/driver_factory.h"
 #include "src/sim/rng.h"
 #include "src/trace/cluster_trace.h"
 
@@ -187,14 +188,21 @@ struct DrainResult {
   uint64_t wire_hits = 0;           // Migrations that hit the cache.
   uint64_t cold_io_avoided = 0;     // Deps bytes served without disk IO.
   uint64_t dep_disk_bytes = 0;      // Deps bytes that still paid disk IO.
+  // Snapshot registry (shared_snapshots runs only): post-drain cold
+  // starts restore the recorded working set instead of re-running the
+  // serial cold phases the reap threw the fleet back onto.
+  uint64_t snap_restores = 0;        // Cold starts served from a snapshot.
+  uint64_t snap_prefetch_bytes = 0;  // Bytes bulk-prefetched across them.
+  double snap_tail_rate_pct = 0;     // Post-restore demand-fault tail.
 };
 
 DrainResult RunDrain(ReclaimPolicy reclaim, MigrationMode mode, uint64_t host_capacity,
-                     bool dep_cache = false) {
+                     bool dep_cache = false, bool snapshots = false) {
   ClusterConfig cfg =
       fig12::SweepConfig(reclaim, PlacementPolicy::kHintedBinPack, host_capacity);
   cfg.migration = mode;
   cfg.shared_dep_cache = dep_cache;
+  cfg.shared_snapshots = snapshots;
   cfg.host.unplug_timeout = Sec(5);
   Cluster cluster(cfg);
   uint64_t boot_commit = 0;
@@ -247,6 +255,12 @@ DrainResult RunDrain(ReclaimPolicy reclaim, MigrationMode mode, uint64_t host_ca
     const Cluster::DepIoTotals io = cluster.DepIo();
     r.cold_io_avoided = io.cold_io_avoided();
     r.dep_disk_bytes = io.disk_read_bytes;
+  }
+  if (cluster.snapshot_store() != nullptr) {
+    const SnapshotStats& s = cluster.snapshot_store()->stats();
+    r.snap_restores = s.restores;
+    r.snap_prefetch_bytes = s.prefetch_bytes;
+    r.snap_tail_rate_pct = s.tail_fault_rate_pct();
   }
   return r;
 }
@@ -357,12 +371,15 @@ int main() {
   // replicas are live-migrated to planner-chosen hosts instead of reaped,
   // so the fleet pays fewer post-drain cold starts.
   std::cout << "\nHost drain at t=4min (most-committed host, HintedBinPack), "
-               "reap vs migrate vs migrate+dep-cache:\n";
+               "reap vs migrate vs migrate+dep-cache vs migrate+snapshots:\n";
   TablePrinter drain_table({"Reclaim", "Mode", "Host", "RoutedBefore", "RoutedAfter",
                             "ReclaimSec", "ColdAfter", "Migrated", "Reaped",
-                            "WireSavedMiB", "ColdIOSavedMiB"});
+                            "WireSavedMiB", "ColdIOSavedMiB", "Restores",
+                            "PrefetchMiB"});
   bool drain_pass = true;
   bool dep_pass = true;
+  bool snap_pass = true;
+  double snap_tail_rate_pct = 0;
   const double mib = static_cast<double>(MiB(1));
   for (const ReclaimPolicy rp : {ReclaimPolicy::kVirtioMem, ReclaimPolicy::kSqueezy}) {
     uint64_t cold_reap = 0;
@@ -370,20 +387,26 @@ int main() {
     // Reap, migrate, and (for the sharing driver) migrate with the
     // cluster dependency cache on: migrations to populated destinations
     // skip deps_bytes on the wire and cold starts fetch peer-resident
-    // images instead of paying backing-store IO.
+    // images instead of paying backing-store IO.  The last Squeezy run
+    // adds the snapshot registry: post-drain cold starts restore the
+    // recorded working set (one bulk prefetch) instead of re-running the
+    // serial phases the reap threw away — restore vs reap, measured.
     struct ModeRun {
       MigrationMode mode;
       bool dep_cache;
+      bool snapshots;
     };
-    std::vector<ModeRun> runs = {{MigrationMode::kReapOnDrain, false},
-                                 {MigrationMode::kMigrateOnDrain, false}};
+    std::vector<ModeRun> runs = {{MigrationMode::kReapOnDrain, false, false},
+                                 {MigrationMode::kMigrateOnDrain, false, false}};
     if (rp == ReclaimPolicy::kSqueezy) {
-      runs.push_back({MigrationMode::kMigrateOnDrain, true});
+      runs.push_back({MigrationMode::kMigrateOnDrain, true, false});
+      runs.push_back({MigrationMode::kMigrateOnDrain, true, true});
     }
     for (const ModeRun& run : runs) {
-      const DrainResult d = RunDrain(rp, run.mode, cap, run.dep_cache);
-      const std::string mode_name =
-          std::string(MigrationModeName(run.mode)) + (run.dep_cache ? "+DepC" : "");
+      const DrainResult d = RunDrain(rp, run.mode, cap, run.dep_cache, run.snapshots);
+      const std::string mode_name = std::string(MigrationModeName(run.mode)) +
+                                    (run.dep_cache ? "+DepC" : "") +
+                                    (run.snapshots ? "+Snap" : "");
       drain_table.AddRow({ReclaimPolicyName(rp), mode_name,
                           TablePrinter::Int(static_cast<int64_t>(d.drained_host)),
                           TablePrinter::Int(static_cast<int64_t>(d.routed_before)),
@@ -393,10 +416,14 @@ int main() {
                           TablePrinter::Int(static_cast<int64_t>(d.migrated)),
                           TablePrinter::Int(static_cast<int64_t>(d.reaped)),
                           TablePrinter::Num(static_cast<double>(d.wire_bytes_saved) / mib, 0),
-                          TablePrinter::Num(static_cast<double>(d.cold_io_avoided) / mib, 0)});
+                          TablePrinter::Num(static_cast<double>(d.cold_io_avoided) / mib, 0),
+                          TablePrinter::Int(static_cast<int64_t>(d.snap_restores)),
+                          TablePrinter::Num(static_cast<double>(d.snap_prefetch_bytes) / mib,
+                                            0)});
       const std::string tag = std::string(ReclaimPolicyName(rp)) + "_" +
                               MigrationModeName(run.mode) +
-                              (run.dep_cache ? "_DepCache" : "");
+                              (run.dep_cache ? "_DepCache" : "") +
+                              (run.snapshots ? "_Snapshots" : "");
       if (d.reclaim_seconds >= 0) {
         json.Metric("drain_reclaim_sec_" + tag, d.reclaim_seconds);
       } else {
@@ -404,7 +431,16 @@ int main() {
       }
       json.Metric("drain_cold_after_" + tag, d.cold_after);
       json.Metric("drain_migrated_" + tag, d.migrated);
-      if (run.dep_cache) {
+      if (run.snapshots) {
+        // The snapshot headline: every post-drain cold start on the
+        // surviving hosts restores from the registry, and the demand-fault
+        // tail stays small (recordings are fresh).
+        json.Metric("snapshot_restores", d.snap_restores);
+        json.Metric("snapshot_prefetch_bytes", d.snap_prefetch_bytes);
+        json.Metric("snapshot_tail_fault_rate_pct", d.snap_tail_rate_pct);
+        snap_tail_rate_pct = d.snap_tail_rate_pct;
+        snap_pass = d.snap_restores > 0 && d.snap_prefetch_bytes > 0;
+      } else if (run.dep_cache) {
         // The dep-cache headline: bytes that never crossed the wire and
         // dependency bytes served without cold IO, plus the hit rate of
         // dependency reads against the fleet-wide cache.
@@ -433,9 +469,39 @@ int main() {
                "reap-on-drain -> "
             << (drain_pass ? "PASS" : "FAIL") << "\n"
             << "Check: dep cache saves wire bytes AND cold IO on the Squeezy drain -> "
-            << (dep_pass ? "PASS" : "FAIL") << "\n";
+            << (dep_pass ? "PASS" : "FAIL") << "\n"
+            << "Check: snapshot registry serves post-drain cold starts by restore -> "
+            << (snap_pass ? "PASS" : "FAIL") << " (tail fault rate "
+            << TablePrinter::Num(snap_tail_rate_pct) << "%)\n";
   json.Text("drain_migrate_check", drain_pass ? "PASS" : "FAIL");
   json.Text("dep_cache_check", dep_pass ? "PASS" : "FAIL");
+  json.Text("snapshot_restore_check", snap_pass ? "PASS" : "FAIL");
+
+  // Which reclaim drivers exploit working-set-sized commitment after a
+  // snapshot restore (RestoredCommitment < plug unit)?  Squeezy can: its
+  // restored instances live inside plug-unit-confined partitions, so the
+  // recorded working set bounds what the host must back.  The vanilla
+  // drivers keep full-unit commitment — locked by snapshot_registry_test.
+  std::cout << "\nDriver commitment for a restored instance (plug unit "
+            << TablePrinter::Num(static_cast<double>(GiB(1)) / mib, 0) << " MiB, "
+            << "recorded working set " << TablePrinter::Num(300.0, 0) << " MiB):\n";
+  TablePrinter commit_table({"Reclaim", "RestoreExploited", "CommitMiB"});
+  for (const ReclaimPolicy rp : reclaims) {
+    RuntimeConfig dcfg;
+    dcfg.policy = rp;
+    const std::unique_ptr<ReclaimDriver> driver = MakeReclaimDriver(dcfg);
+    DriverSizing sizing;
+    sizing.plug_unit = GiB(1);
+    sizing.deps_region = MiB(256);
+    sizing.max_concurrency = kConcurrency;
+    const uint64_t commit = driver->RestoredCommitment(sizing, MiB(300));
+    commit_table.AddRow({ReclaimPolicyName(rp),
+                         driver->SnapshotRestoreSupported() ? "yes" : "no",
+                         TablePrinter::Num(static_cast<double>(commit) / mib, 0)});
+    json.Metric(std::string("restored_commitment_mib_") + ReclaimPolicyName(rp),
+                static_cast<double>(commit) / mib);
+  }
+  commit_table.Print(std::cout);
 
   json.Metric("trace_invocations", trace_size);
   json.Metric("restricted_host_capacity_gib",
@@ -530,6 +596,8 @@ int main() {
 
   const std::string json_path = json.Write();
   std::cout << "CSV: bench_results/fig12_cluster_scale.csv\nJSON: " << json_path << "\n";
-  return binpack_pass && hinted_pass && drain_pass && dep_pass && queue_identical ? 0
-                                                                                  : 1;
+  return binpack_pass && hinted_pass && drain_pass && dep_pass && snap_pass &&
+                 queue_identical
+             ? 0
+             : 1;
 }

@@ -10,6 +10,9 @@ Cluster::Cluster(const ClusterConfig& config)
   if (config_.shared_dep_cache) {
     dep_cache_ = std::make_unique<DepCache>(config_.nr_hosts);
   }
+  if (config_.shared_snapshots) {
+    snapshot_store_ = std::make_unique<SnapshotStore>(SnapshotStoreConfig{});
+  }
   // The scheduler gets the narrow control plane, not the runtimes.
   std::vector<HostControl*> raw;
   raw.reserve(config_.nr_hosts);
@@ -19,6 +22,9 @@ Cluster::Cluster(const ClusterConfig& config)
     hosts_.push_back(std::make_unique<FaasRuntime>(host_cfg, &events_));
     if (dep_cache_ != nullptr) {
       hosts_.back()->AttachDepRegistry(dep_cache_.get(), h);
+    }
+    if (snapshot_store_ != nullptr) {
+      hosts_.back()->AttachSnapshotRegistry(snapshot_store_.get());
     }
     raw.push_back(hosts_.back().get());
   }

@@ -32,6 +32,7 @@
 #include "src/cluster/migration_planner.h"
 #include "src/cluster/scheduler.h"
 #include "src/faas/runtime.h"
+#include "src/snapshot/snapshot_store.h"
 #include "src/metrics/fleet.h"
 #include "src/sim/event_queue.h"
 #include "src/trace/trace_gen.h"
@@ -58,6 +59,13 @@ struct ClusterConfig {
   // populated destination skip deps_bytes on the wire.  Off by default —
   // every existing experiment is bit-identical with it off.
   bool shared_dep_cache = false;
+  // Cluster-wide snapshot registry (src/snapshot/snapshot_store.h): each
+  // function's first fully-warm idle records its touched-page working set;
+  // later cold starts restore it as one bulk prefetch, and drivers with
+  // SnapshotRestoreSupported() (Squeezy) size host commitment from the
+  // restored working set instead of the full plug unit.  Off by default —
+  // every existing experiment is bit-identical with it off.
+  bool shared_snapshots = false;
   // Event-queue implementation for the shared fleet clock.  The timer
   // wheel is the default; kBinaryHeap preserves the pre-wheel single
   // priority queue so benches can A/B the kernel at fleet scale.  Both
@@ -112,6 +120,11 @@ class Cluster {
   // --- Shared dependency cache ------------------------------------------------------
   // Null unless ClusterConfig::shared_dep_cache.
   const DepCache* dep_cache() const { return dep_cache_.get(); }
+
+  // --- Shared snapshot registry -----------------------------------------------------
+  // Null unless ClusterConfig::shared_snapshots.  Recordings live in
+  // content-addressed shared storage, so one slot serves every host.
+  const SnapshotStore* snapshot_store() const { return snapshot_store_.get(); }
   // Aggregated deps-file read accounting across every replica VM: how the
   // fleet's dependency bytes were actually served.
   struct DepIoTotals {
@@ -157,6 +170,7 @@ class Cluster {
   ClusterConfig config_;
   EventQueue events_;
   std::unique_ptr<DepCache> dep_cache_;  // Null unless shared_dep_cache.
+  std::unique_ptr<SnapshotStore> snapshot_store_;  // Null unless shared_snapshots.
   std::vector<std::unique_ptr<FaasRuntime>> hosts_;
   std::unique_ptr<ClusterScheduler> scheduler_;
   std::unique_ptr<MigrationPlanner> planner_;

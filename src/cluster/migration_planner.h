@@ -57,7 +57,10 @@ class MigrationPlanner {
   // each class, ties to the lowest host index.  The caller walks the
   // ranking and settles on the first host that actually adopts (a
   // well-placed candidate can still be concurrency-saturated —
-  // AdoptableReplicas decides, not the snapshot).
+  // AdoptableReplicas decides, not the snapshot).  With a snapshot
+  // registry attached, AdoptableReplicas sizes each adopted unit from the
+  // driver's RestoredCommitment, so a working-set-sized destination
+  // admits more warm replicas than its raw plug-unit headroom suggests.
   std::vector<size_t> RankDestinations(size_t src_host,
                                        const std::vector<Replica>& replicas,
                                        uint64_t unit_bytes, size_t wanted) const;

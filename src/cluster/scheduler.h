@@ -39,6 +39,12 @@
 // Draining hosts (HostSnapshot::draining) receive no new replicas and no
 // routes while any non-draining replica exists.
 //
+// Admission sizing: HostSnapshot::can_admit flows through the host's
+// HasMemoryForFresh, which with a snapshot registry attached sizes a
+// fresh plug from the driver's RestoredCommitment (working-set-sized for
+// Squeezy) instead of the full plug unit — so the bin-packers see the
+// extra density that snapshot restore buys without any scheduler change.
+//
 // Every decision is a deterministic function of (policy, host snapshots,
 // per-function round-robin cursor); ties break toward the lowest host
 // index so cluster runs are bit-reproducible for a given seed.

@@ -181,6 +181,33 @@ void Agent::OnMemoryReady(int32_t instance_id, DurationNs vmm_latency) {
 
 void Agent::RunColdPhases(int32_t instance_id) {
   Instance& inst = instance(instance_id);
+  if (callbacks_.try_restore) {
+    const SnapshotRestorePlan plan = callbacks_.try_restore(inst.pid);
+    if (plan.oom) {
+      inst.state = InstanceState::kEvicted;
+      assert(spawning_ > 0);
+      --spawning_;
+      callbacks_.release_memory();
+      MaybeSpawn();
+      return;
+    }
+    if (plan.restored) {
+      // Snapshot restore replaces the serial container/function-init
+      // phases with one bulk prefetch; the first execution still runs
+      // cold and demand-faults whatever the recording missed (the tail).
+      inst.restored = true;
+      inst.anon_touched = plan.heap_bytes;
+      const TimeNs restore_start = events_->now();
+      StartWork(1.0, plan.latency, [this, instance_id, restore_start] {
+        Instance& i = instance(instance_id);
+        i.cold.function_init = events_->now() - restore_start;
+        assert(spawning_ > 0);
+        --spawning_;
+        BecomeIdle(instance_id);
+      });
+      return;
+    }
+  }
   const TimeNs container_start = events_->now();
 
   // Container init: sandbox setup + rootfs reads.  In the N:1 model the
@@ -265,8 +292,11 @@ void Agent::StartExec(int32_t instance_id, TimeNs arrival) {
       rng_.LogNormal(static_cast<double>(spec_.exec_cpu_mean), spec_.exec_cv));
   const bool cold = !inst.first_exec_done;
   if (cold) {
-    // First execution touches the rest of the anonymous working set.
-    const uint64_t rest = spec_.anon_working_set - inst.anon_touched;
+    // First execution touches the rest of the anonymous working set (an
+    // oversized stale recording can exceed it; nothing is left then).
+    const uint64_t rest = spec_.anon_working_set > inst.anon_touched
+                              ? spec_.anon_working_set - inst.anon_touched
+                              : 0;
     const TouchResult anon = guest_->TouchAnon(inst.pid, rest, exec_start);
     if (anon.oom) {
       inst.state = InstanceState::kEvicted;
@@ -274,6 +304,10 @@ void Agent::StartExec(int32_t instance_id, TimeNs arrival) {
       return;
     }
     work += anon.latency;
+    if (inst.restored && callbacks_.restore_tail) {
+      // Everything demand-faulted past the recording is staleness signal.
+      callbacks_.restore_tail(anon.bytes);
+    }
   }
   // Hot-path file pages re-read per request (cached: remap cost only).
   const uint64_t exec_file = static_cast<uint64_t>(
@@ -381,6 +415,18 @@ void Agent::RestoreWarmState(int32_t instance_id, uint64_t anon_bytes,
   inst.first_exec_done = true;  // Warm: the next request is NOT a cold start.
   const TimeNs ready = std::max(events_->now() + anon.latency, available_at);
   events_->ScheduleAt(ready, [this, instance_id] { BecomeIdle(instance_id); });
+}
+
+uint64_t Agent::MaxWarmAnonBytes() const {
+  // A fully warmed instance has touched its whole working set (same
+  // convention as CaptureAndEvictIdle); one mid-first-lifetime has not
+  // finished faulting and is not a recordable state.
+  for (const auto& inst : instances_) {
+    if (inst->state != InstanceState::kEvicted && inst->first_exec_done) {
+      return spec_.anon_working_set;
+    }
+  }
+  return 0;
 }
 
 TimeNs Agent::OldestIdleSince() const {

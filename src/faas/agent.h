@@ -59,6 +59,14 @@ struct AgentConfig {
   bool use_squeezy = false;           // Assign instances to Squeezy partitions.
 };
 
+// The runtime's answer to a snapshot-restore attempt at cold-start time.
+struct SnapshotRestorePlan {
+  bool restored = false;     // A recording existed and was bulk-prefetched.
+  bool oom = false;          // Restore allocation failed; process OOM-killed.
+  DurationNs latency = 0;    // Fixed + prefetch + bulk-populate time.
+  uint64_t heap_bytes = 0;   // Anonymous bytes the restore already touched.
+};
+
 // Runtime-side hooks: memory acquisition/release crosses the VM boundary.
 struct AgentCallbacks {
   // Secure memory for one new instance (admission + plug).  Must invoke
@@ -69,8 +77,18 @@ struct AgentCallbacks {
   std::function<void()> release_memory;
   // Optional: an instance went idle (cold start or request just
   // finished).  The runtime uses it to observe that the VM's dependency
-  // image is now fully faulted (cluster dep-cache population signal).
+  // image is now fully faulted (cluster dep-cache population signal) and
+  // to record the function's snapshot at first fully-warm idle.
   std::function<void()> instance_idle;
+  // Optional (snapshot registry attached): attempt a REAP-style restore
+  // for the cold-starting process — the runtime maps the recorded working
+  // set and returns the bulk-prefetch latency, replacing the serial
+  // container/function-init phases.  restored == false falls back to them.
+  std::function<SnapshotRestorePlan(Pid)> try_restore;
+  // Optional: a restored instance finished its first execution having
+  // demand-faulted `tail_bytes` outside the recording (the staleness
+  // signal the registry's re-record policy consumes).
+  std::function<void(uint64_t tail_bytes)> restore_tail;
 };
 
 class Agent {
@@ -126,6 +144,10 @@ class Agent {
   const AgentConfig& config() const { return config_; }
   // The shared dependency file backing this VM's page-cache image.
   int32_t deps_file() const { return deps_file_; }
+  // Largest anonymous footprint among fully warmed instances (first exec
+  // done), or 0 when none is — what a snapshot recording captures as the
+  // function's heap working set.
+  uint64_t MaxWarmAnonBytes() const;
 
   // --- Metrics --------------------------------------------------------------------
   const std::vector<RequestRecord>& requests() const { return records_; }
@@ -145,6 +167,7 @@ class Agent {
     EventId keepalive_event = kInvalidEventId;
     ColdStartBreakdown cold;
     bool first_exec_done = false;
+    bool restored = false;  // Cold start served from a snapshot recording.
     uint64_t anon_touched = 0;
   };
 

@@ -55,6 +55,11 @@ void FaasRuntime::AttachDepRegistry(DepImageRegistry* registry, size_t host_id) 
   host_id_ = host_id;
 }
 
+void FaasRuntime::AttachSnapshotRegistry(SnapshotRegistry* registry) {
+  assert(vms_.empty() && "attach the registry before any AddFunction");
+  snap_registry_ = registry;
+}
+
 int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency) {
   const int fn = static_cast<int>(vms_.size());
   auto bundle = std::make_unique<VmBundle>();
@@ -105,6 +110,15 @@ int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency)
       boot_commit -= sizing.deps_region;
     }
   }
+  if (snap_registry_ != nullptr && driver_->SnapshotRestoreSupported()) {
+    // Snapshot slots are cluster-global (content-addressed files on
+    // shared storage): the first host to warm the function records, every
+    // host restores.  Keyed by sizes too, so distinct workloads under one
+    // name never share a recording.
+    vm(fn).snapshot = snap_registry_->Intern(spec.name + "/" +
+                                             std::to_string(spec.file_deps_bytes) + "/" +
+                                             std::to_string(spec.anon_working_set));
+  }
   const bool reserved = host_.TryReserve(boot_commit, 0);
   assert(reserved && "host must fit the boot-time footprint of every VM");
   (void)reserved;
@@ -119,10 +133,21 @@ int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency)
     AcquireInstanceMemory(fn, std::move(ready));
   };
   callbacks.release_memory = [this, fn] { ReleaseInstanceMemory(fn); };
-  if (vm(fn).dep_image != kNoDepImage) {
+  if (vm(fn).dep_image != kNoDepImage || vm(fn).snapshot != kNoSnapshot) {
     // Population signal: the first idle transition follows the cold
     // start that faulted the whole image in — peers can fetch it now.
-    callbacks.instance_idle = [this, fn] { MarkImagePopulatedIfWarm(fn); };
+    // The same transition is the snapshot recording point: a fully
+    // warmed instance exists exactly when its working set is observable.
+    callbacks.instance_idle = [this, fn] {
+      if (vm(fn).dep_image != kNoDepImage) {
+        MarkImagePopulatedIfWarm(fn);
+      }
+      MaybeRecordSnapshot(fn);
+    };
+  }
+  if (vm(fn).snapshot != kNoSnapshot) {
+    callbacks.try_restore = [this, fn](Pid pid) { return TryRestoreSnapshot(fn, pid); };
+    callbacks.restore_tail = [this, fn](uint64_t tail) { NoteRestoreTail(fn, tail); };
   }
   VmBundle& b = vm(fn);
   b.agent = std::make_unique<Agent>(events_, b.guest.get(), b.sqz.get(), spec, acfg,
@@ -288,7 +313,89 @@ void FaasRuntime::MaybeEvictImages() {
   }
 }
 
+// --- Snapshot record/restore -------------------------------------------------------
+
+void FaasRuntime::MaybeRecordSnapshot(int fn) {
+  VmBundle& b = vm(fn);
+  if (snap_registry_ == nullptr || b.snapshot == kNoSnapshot ||
+      snap_registry_->Recorded(b.snapshot)) {
+    return;
+  }
+  const uint64_t heap = b.agent->MaxWarmAnonBytes();
+  if (heap == 0) {
+    return;  // No fully warmed instance yet; nothing recordable.
+  }
+  const PageCache& pc = b.guest->page_cache();
+  SnapshotImage img;
+  img.deps_pages = pc.cached_pages(b.agent->deps_file());
+  img.heap_bytes = heap;
+  img.working_set_pages = img.deps_pages + BytesToPages(heap);
+  snap_registry_->Record(b.snapshot, img);
+}
+
+SnapshotRestorePlan FaasRuntime::TryRestoreSnapshot(int fn, Pid pid) {
+  SnapshotRestorePlan plan;
+  VmBundle& b = vm(fn);
+  if (snap_registry_ == nullptr || b.snapshot == kNoSnapshot ||
+      !snap_registry_->Recorded(b.snapshot)) {
+    return plan;  // Serial cold phases run.
+  }
+  const SnapshotImage img = snap_registry_->Image(b.snapshot);
+  const RestoreOutcome out = b.guest->RestoreWorkingSet(
+      pid, b.agent->deps_file(), img.deps_pages, img.heap_bytes, events_->now());
+  if (out.oom) {
+    plan.oom = true;
+    return plan;
+  }
+  // The deps portion rides the snapshot prefetch only when nobody else
+  // holds the image: a host-populated copy was already adopted at grant
+  // time (out.file_bytes == 0 then), and a peer-resident one is served
+  // through the dependency cache, not the snapshot file.
+  uint64_t prefetch = out.file_bytes + out.anon_bytes;
+  uint64_t deps_zeroed = 0;
+  if (out.file_bytes > 0 && dep_registry_ != nullptr && b.dep_image != kNoDepImage &&
+      (dep_registry_->Populated(host_id_, b.dep_image) ||
+       dep_registry_->PopulatedElsewhere(host_id_, b.dep_image))) {
+    deps_zeroed = out.file_bytes;
+    prefetch -= deps_zeroed;
+  }
+  plan.restored = true;
+  plan.heap_bytes = out.anon_bytes;
+  plan.latency =
+      cost_.snapshot_restore_fixed + cost_.SnapshotPrefetchBytes(prefetch) + out.nested;
+  snap_registry_->NoteRestore(b.snapshot, prefetch, deps_zeroed);
+  return plan;
+}
+
+void FaasRuntime::NoteRestoreTail(int fn, uint64_t tail_bytes) {
+  VmBundle& b = vm(fn);
+  if (snap_registry_ == nullptr || b.snapshot == kNoSnapshot) {
+    return;
+  }
+  // Above the threshold the registry invalidates; the next fully-warm
+  // idle of this VM re-records the grown working set.
+  snap_registry_->NoteTail(b.snapshot, tail_bytes);
+}
+
 // --- Mechanism primitives (ReclaimHost) --------------------------------------------
+
+uint64_t FaasRuntime::FreshReserveBytes(int fn) const {
+  const VmBundle& b = *vms_[static_cast<size_t>(fn)];
+  if (snap_registry_ == nullptr || b.snapshot == kNoSnapshot ||
+      !snap_registry_->Recorded(b.snapshot)) {
+    return b.plug_unit;
+  }
+  DriverSizing s;
+  s.plug_unit = b.plug_unit;
+  s.deps_region = b.deps_region;
+  s.max_concurrency = b.max_concurrency;
+  const uint64_t heap = snap_registry_->Image(b.snapshot).heap_bytes;
+  return std::min(b.plug_unit, driver_->RestoredCommitment(s, heap));
+}
+
+void FaasRuntime::NoteUnreservedPlug(int fn, uint64_t shortfall) {
+  vm(fn).snapshot_unreserved += shortfall;
+}
 
 uint64_t FaasRuntime::TakeSpare(int fn, uint64_t max_bytes) {
   VmBundle& b = vm(fn);
@@ -350,9 +457,15 @@ void FaasRuntime::StartUnplug(int fn) {
   // competes with running instances (Fig 9).
   b.agent->AddKernelInterference(out.breakdown.total() - out.breakdown.vm_exits);
   const uint64_t released = out.bytes_unplugged;
-  events_->ScheduleAfter(out.latency(), [this, released] {
-    if (released > 0) {
-      host_.ReleaseReservation(released, events_->now());
+  events_->ScheduleAfter(out.latency(), [this, fn, released] {
+    // A snapshot-restored plug reserved less than the unit it plugged
+    // (working-set-sized commitment); the shortfall pool absorbs the
+    // un-reserved part of the release so the books never go negative.
+    VmBundle& vb = vm(fn);
+    const uint64_t take = std::min(vb.snapshot_unreserved, released);
+    vb.snapshot_unreserved -= take;
+    if (released > take) {
+      host_.ReleaseReservation(released - take, events_->now());
     }
     TryServePending();
   });
@@ -372,9 +485,16 @@ void FaasRuntime::TryServePending() {
     // (or was parked for exactly that reason) must re-charge the image
     // together with its plug unit — one atomic reservation, no torn book.
     const uint64_t image_need = ImageChargeNeeded(it->fn);
-    if (host_.TryReserve(b.plug_unit + image_need, events_->now())) {
+    // Snapshot-recorded functions reserve their restored commitment
+    // (working-set-sized), not the full plug unit — same discount the
+    // fresh-plug path applies.
+    const uint64_t unit_need = FreshReserveBytes(it->fn);
+    if (host_.TryReserve(unit_need + image_need, events_->now())) {
       if (image_need > 0) {
         ChargeImage(it->fn, image_need);
+      }
+      if (unit_need < b.plug_unit) {
+        NoteUnreservedPlug(it->fn, b.plug_unit - unit_need);
       }
       std::function<void(DurationNs)> ready = std::move(it->ready);
       const int fn = it->fn;
@@ -454,8 +574,12 @@ bool FaasRuntime::HasMemoryForFresh(int fn) const {
   if (reusable >= b.plug_unit && image_need == 0) {
     return true;
   }
-  return host_.available() >=
-         b.plug_unit - std::min(reusable, b.plug_unit) + image_need;
+  // A pure fresh plug (no reuse) for a snapshot-recorded function only
+  // reserves its restored commitment; partial reuse keeps the full unit
+  // (matching the acquire path, which discounts only when from_spare == 0).
+  const uint64_t need = reusable > 0 ? b.plug_unit - std::min(reusable, b.plug_unit)
+                                     : FreshReserveBytes(fn);
+  return host_.available() >= need + image_need;
 }
 
 bool FaasRuntime::CanAdmit(int fn) const {
@@ -552,7 +676,10 @@ size_t FaasRuntime::AdoptableReplicas(int local_fn, size_t wanted) const {
   size_t n = 0;
   while (n < cap) {
     const uint64_t from_reuse = std::min(reusable, b.plug_unit);
-    const uint64_t need = b.plug_unit - from_reuse;
+    // Mirror HasMemoryForFresh: a pure fresh plug for a snapshot-recorded
+    // function reserves only its restored commitment.
+    const uint64_t need =
+        from_reuse > 0 ? b.plug_unit - from_reuse : FreshReserveBytes(local_fn);
     if (avail < need) {
       break;
     }

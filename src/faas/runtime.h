@@ -32,6 +32,7 @@
 #include "src/faas/function.h"
 #include "src/faas/host_control.h"
 #include "src/faas/runtime_config.h"
+#include "src/faas/snapshot_registry.h"
 #include "src/guest/guest_kernel.h"
 #include "src/host/host_memory.h"
 #include "src/host/hypervisor.h"
@@ -60,6 +61,15 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   // images at wire speed instead of cold IO, and evicted residencies flow
   // their commitment back through the driver.
   void AttachDepRegistry(DepImageRegistry* registry, size_t host_id);
+
+  // Attaches the cluster's snapshot registry (REAP-style record-and-
+  // prefetch).  Must precede every AddFunction call.  Only takes effect
+  // for drivers with SnapshotRestoreSupported(): their functions record
+  // the touched working set at first fully-warm idle, later cold starts
+  // restore it as one bulk prefetch, and each restored instance is
+  // committed at the driver's RestoredCommitment() instead of a full plug
+  // unit.  Other drivers stay bit-identical with the registry attached.
+  void AttachSnapshotRegistry(SnapshotRegistry* registry);
 
   // Registers one N:1 VM hosting `spec` with concurrency factor N.
   // Returns the function index used by SubmitTrace.
@@ -96,6 +106,9 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   // The registered dependency image of fn's VM (kNoDepImage without an
   // attached registry / sharing driver).
   DepImageId dep_image(int fn) const { return vms_[static_cast<size_t>(fn)]->dep_image; }
+  // The registered snapshot slot of fn's VM (kNoSnapshot without an
+  // attached registry / restore-capable driver).
+  SnapshotId snapshot_id(int fn) const { return vms_[static_cast<size_t>(fn)]->snapshot; }
 
   // Reclamation throughput achieved by fn's VM so far (MiB/s); 0 if the VM
   // never unplugged (Fig 8).
@@ -159,6 +172,12 @@ class FaasRuntime : public HostControl, private ReclaimHost {
     uint64_t plug_unit = 0;    // Block-rounded memory limit.
     uint64_t deps_region = 0;  // Block-rounded dependency image size.
     DepImageId dep_image = kNoDepImage;  // Registry image (sharing drivers only).
+    SnapshotId snapshot = kNoSnapshot;   // Snapshot slot (restore-capable drivers).
+    // Plugged-but-unreserved bytes from snapshot-restored grants (each
+    // fresh plug is one full unit, its reservation only the restored
+    // commitment); unwound against unplug completions so the book never
+    // over-releases.
+    uint64_t snapshot_unreserved = 0;
     std::unique_ptr<GuestKernel> guest;
     std::unique_ptr<SqueezyManager> sqz;
     std::unique_ptr<Agent> agent;
@@ -191,6 +210,8 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   uint64_t spare_plugged(int fn) const override {
     return vms_[static_cast<size_t>(fn)]->spare_plugged;
   }
+  uint64_t FreshReserveBytes(int fn) const override;
+  void NoteUnreservedPlug(int fn, uint64_t shortfall) override;
   uint64_t TakeSpare(int fn, uint64_t max_bytes) override;
   void AddSpare(int fn, uint64_t bytes) override;
   bool HasCancellableUnplug(int fn) const override;
@@ -240,6 +261,18 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   // their commitment flows back through the driver (OnImageEvict).
   void MaybeEvictImages();
 
+  // --- Snapshot record/restore (attached registry only) -----------------------------
+  // Records fn's snapshot at the first fully-warm idle after no valid
+  // recording exists (first boot, or after a staleness invalidation).
+  void MaybeRecordSnapshot(int fn);
+  // Cold-start front door: bulk-prefetches the recorded working set into
+  // the fresh process (deps portion zeroed when the dep cache holds the
+  // image) and prices it with the cost model's snapshot terms.  Returns
+  // restored == false when no valid recording exists.
+  SnapshotRestorePlan TryRestoreSnapshot(int fn, Pid pid);
+  // Staleness signal from a restored instance's first execution.
+  void NoteRestoreTail(int fn, uint64_t tail_bytes);
+
   // Periodic tick bodies, driven by the coalesced per-host repeating
   // timers below (one persistent closure each, re-armed in place).  The
   // return value is the timer contract: keep firing while work remains.
@@ -258,6 +291,7 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   std::unique_ptr<ReclaimDriver> driver_;
   DepImageRegistry* dep_registry_ = nullptr;  // Null outside a dep-cache cluster.
   size_t host_id_ = 0;                        // This host's index in the registry.
+  SnapshotRegistry* snap_registry_ = nullptr;  // Null outside a snapshot cluster.
   std::vector<std::unique_ptr<VmBundle>> vms_;
   std::deque<PendingScaleUp> pending_;
   uint64_t pending_total_ = 0;

@@ -1,0 +1,71 @@
+// The narrow surface a host runtime sees of the per-function snapshot
+// registry (REAP-style record-and-prefetch, Ustiugov et al.).
+//
+// A snapshot image is the touched-page set of one function's first fully
+// warmed boot: the dependency-file pages it faulted plus the anonymous
+// heap it touched through its first execution.  Subsequent cold starts
+// restore that working set as ONE bulk prefetch (priced by the CostModel's
+// snapshot terms) instead of serial demand faults, and a driver that can
+// exploit the recording commits only working-set-sized memory for the
+// restored instance (ReclaimDriver::RestoredCommitment).
+//
+// Layering mirrors DepImageRegistry/DepCache: src/faas/ sees only this
+// interface; the concrete registry (src/snapshot/snapshot_store.h) lives
+// outside the host.  A runtime without an attached registry — every
+// locked sweep, and any driver whose SnapshotRestoreSupported() is false
+// — behaves bit-identically to before the registry existed.
+#ifndef SQUEEZY_FAAS_SNAPSHOT_REGISTRY_H_
+#define SQUEEZY_FAAS_SNAPSHOT_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace squeezy {
+
+using SnapshotId = int32_t;
+inline constexpr SnapshotId kNoSnapshot = -1;
+
+// The recorded working set of one function's first fully warmed boot.
+struct SnapshotImage {
+  uint64_t working_set_pages = 0;  // deps_pages + heap pages, total prefetch.
+  uint64_t deps_pages = 0;         // Dependency-file pages in the recording.
+  uint64_t heap_bytes = 0;         // Anonymous bytes touched through first exec.
+};
+
+class SnapshotRegistry {
+ public:
+  virtual ~SnapshotRegistry() = default;
+
+  // Interns `key` (spec name + sizes) as a snapshot slot.  Idempotent;
+  // cluster-wide: one recording serves every host's restores.
+  virtual SnapshotId Intern(const std::string& key) = 0;
+
+  // Whether a valid recording exists (false before the first record and
+  // after an Invalidate, until re-recorded).
+  virtual bool Recorded(SnapshotId snap) const = 0;
+  virtual SnapshotImage Image(SnapshotId snap) const = 0;
+
+  // Records the working set observed at first fully-warm idle.  A no-op
+  // while a valid recording exists (record-once); after an Invalidate the
+  // next call re-records.  Returns true when the recording was taken.
+  virtual bool Record(SnapshotId snap, const SnapshotImage& image) = 0;
+  // Drops the recording (stale working set); restores stop until the next
+  // Record.
+  virtual void Invalidate(SnapshotId snap) = 0;
+
+  // --- Restore accounting + stale-recording policy --------------------------------
+  // One restore happened: `prefetch_bytes` were bulk-prefetched,
+  // `deps_bytes_zeroed` of the deps portion were skipped because the
+  // cluster dependency cache already holds the image.
+  virtual void NoteRestore(SnapshotId snap, uint64_t prefetch_bytes,
+                           uint64_t deps_bytes_zeroed) = 0;
+  // Post-restore demand-fault tail of one restored instance (bytes the
+  // recording did NOT cover).  Returns true when the tail exceeded the
+  // registry's staleness threshold and the recording was invalidated —
+  // the caller's next fully-warm idle re-records (the workload shifted).
+  virtual bool NoteTail(SnapshotId snap, uint64_t tail_bytes) = 0;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_FAAS_SNAPSHOT_REGISTRY_H_

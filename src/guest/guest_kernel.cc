@@ -259,6 +259,90 @@ TouchResult GuestKernel::TouchFile(Pid pid, int32_t file_id, uint64_t bytes, Tim
   return result;
 }
 
+RestoreOutcome GuestKernel::RestoreWorkingSet(Pid pid, int32_t file_id,
+                                              uint64_t file_pages, uint64_t anon_bytes,
+                                              TimeNs now) {
+  RestoreOutcome out;
+  Process& proc = process(pid);
+  assert(proc.state() == ProcessState::kRunning);
+  uint64_t populate_pages = 0;
+  auto mark_populated = [this, &populate_pages](Pfn head, uint32_t pages) {
+    for (Pfn pfn = head; pfn < head + pages; ++pfn) {
+      Page& p = memmap_->page(pfn);
+      if (!p.host_populated) {
+        p.host_populated = true;
+        ++populate_pages;
+      }
+    }
+  };
+
+  // Recorded file pages: straight into the page cache, no backing read —
+  // the snapshot file carries their contents.
+  const uint64_t pages = std::min(file_pages, page_cache_.FilePages(file_id));
+  for (uint64_t idx = 0; idx < pages; ++idx) {
+    if (page_cache_.Cached(file_id, idx)) {
+      continue;
+    }
+    Zone* zone = file_zone_;
+    Pfn pfn = zone->Alloc(0, PageKind::kFile, file_id, static_cast<uint32_t>(idx));
+    if (pfn == kInvalidPfn && proc.anon_zone() == nullptr && zone != normal_zone_) {
+      pfn = normal_zone_->Alloc(0, PageKind::kFile, file_id, static_cast<uint32_t>(idx));
+    }
+    if (pfn == kInvalidPfn) {
+      break;  // Partial restore; the rest demand-faults as tail.
+    }
+    page_cache_.Insert(file_id, idx, pfn);
+    mark_populated(pfn, 1);
+    out.file_bytes += kPageSize;
+  }
+  page_cache_.CountRestored(file_id, out.file_bytes);
+
+  // Recorded heap: committed to the process under the same placement rules
+  // as TouchAnon (partition confinement with vanilla normal-zone spill),
+  // without the per-folio fault charges the demand path pays.
+  uint64_t remaining = BytesToPages(anon_bytes);
+  Zone* primary = AnonZoneFor(proc);
+  Zone* fallback = (proc.anon_zone() == nullptr) ? normal_zone_ : nullptr;
+  while (remaining > 0) {
+    uint8_t order = static_cast<uint8_t>(
+        std::min<uint64_t>(kThpOrder, 63 - __builtin_clzll(remaining)));
+    Pfn head = kInvalidPfn;
+    for (;;) {
+      const uint32_t slot = proc.ReserveSlot();
+      head = primary->Alloc(order, PageKind::kAnon, pid, slot);
+      if (head == kInvalidPfn && fallback != nullptr) {
+        head = fallback->Alloc(order, PageKind::kAnon, pid, slot);
+      }
+      if (head != kInvalidPfn) {
+        proc.CommitSlot(slot, head, order);
+        break;
+      }
+      proc.AbandonSlot(slot);
+      if (order == 0) {
+        break;
+      }
+      --order;
+    }
+    if (head == kInvalidPfn) {
+      OomKill(pid);
+      out.oom = true;
+      return out;
+    }
+    const uint32_t folio_pages = 1u << order;
+    mark_populated(head, folio_pages);
+    out.anon_bytes += PagesToBytes(folio_pages);
+    remaining -= folio_pages;
+  }
+
+  // One bulk EPT populate for the whole prefetched span: the host backs
+  // the restore with a single large read, not one exit per granule — the
+  // entire point of prefetching over demand faulting.
+  if (populate_pages > 0) {
+    out.nested = hv_->NestedFaultPopulate(vm_, 1, PagesToBytes(populate_pages), now);
+  }
+  return out;
+}
+
 TouchResult GuestKernel::AdoptFileCache(int32_t file_id, TimeNs now, bool populate_host) {
   TouchResult result;
   const uint64_t pages = page_cache_.FilePages(file_id);

@@ -69,6 +69,14 @@ struct TouchResult {
   bool oom = false;          // Allocation failed; process was OOM-killed.
 };
 
+// Result of a snapshot working-set restore (RestoreWorkingSet).
+struct RestoreOutcome {
+  uint64_t file_bytes = 0;  // Dependency-file bytes mapped from the snapshot.
+  uint64_t anon_bytes = 0;  // Anonymous heap bytes restored to the process.
+  DurationNs nested = 0;    // One bulk EPT populate for the whole span.
+  bool oom = false;         // Allocation failed; process was OOM-killed.
+};
+
 class GuestKernel : public OwnerRegistry, public VirtioMemHooks {
  public:
   GuestKernel(const GuestConfig& config, Hypervisor* hv, CpuAccountant* cpu = nullptr);
@@ -118,6 +126,19 @@ class GuestKernel : public OwnerRegistry, public VirtioMemHooks {
   // the cluster dependency cache holds the image warm) + allocation.
   // File pages are shared across processes.
   TouchResult TouchFile(Pid pid, int32_t file_id, uint64_t bytes, TimeNs now);
+
+  // --- Snapshot restore (cluster snapshot registry) ---------------------------
+  // Maps a recorded working set populated in one step (REAP-style restore):
+  // the first `file_pages` of `file_id` enter the page cache and
+  // `anon_bytes` of heap are committed to the process, with NO per-page
+  // fault or backing-read charges — the caller prices the whole prefetch
+  // once via the cost model's snapshot terms — and ONE bulk EPT populate
+  // (single extent) backs every new page on the host.  Pages already
+  // cached are skipped; anything beyond the recording demand-faults
+  // normally afterwards (the tail).  On allocation failure the process is
+  // OOM-killed, like any fault path.
+  RestoreOutcome RestoreWorkingSet(Pid pid, int32_t file_id, uint64_t file_pages,
+                                   uint64_t anon_bytes, TimeNs now);
 
   // --- Shared dependency image adoption/eviction (cluster dep cache) ---------
   // Maps `file_id`'s not-yet-cached pages straight out of a host-held

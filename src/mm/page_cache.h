@@ -53,13 +53,16 @@ class PageCache {
     return f.backing_resolver ? f.backing_resolver() : -1;
   }
   // Cold-miss read accounting, split by source (disk IO vs. peer fetch vs.
-  // pages adopted from a host-resident image without any read at all).
+  // pages adopted from a host-resident image without any read at all vs.
+  // pages bulk-prefetched out of a recorded snapshot working set).
   void CountDiskRead(int32_t file, uint64_t bytes) { files_[file].disk_read_bytes += bytes; }
   void CountRemoteRead(int32_t file, uint64_t bytes) { files_[file].remote_read_bytes += bytes; }
   void CountAdopted(int32_t file, uint64_t bytes) { files_[file].adopted_bytes += bytes; }
+  void CountRestored(int32_t file, uint64_t bytes) { files_[file].restored_bytes += bytes; }
   uint64_t disk_read_bytes(int32_t file) const { return files_[file].disk_read_bytes; }
   uint64_t remote_read_bytes(int32_t file) const { return files_[file].remote_read_bytes; }
   uint64_t adopted_bytes(int32_t file) const { return files_[file].adopted_bytes; }
+  uint64_t restored_bytes(int32_t file) const { return files_[file].restored_bytes; }
 
  private:
   struct File {
@@ -70,6 +73,7 @@ class PageCache {
     uint64_t disk_read_bytes = 0;
     uint64_t remote_read_bytes = 0;
     uint64_t adopted_bytes = 0;
+    uint64_t restored_bytes = 0;
     std::vector<Pfn> pages;  // Indexed by page_idx; kInvalidPfn = absent.
   };
   std::vector<File> files_;

@@ -16,6 +16,13 @@ void ReclaimDriver::OnImageEvict(int /*fn*/, uint64_t image_bytes) {
   host_->TryServePending();
 }
 
+uint64_t ReclaimDriver::RestoredCommitment(const DriverSizing& s,
+                                           uint64_t /*working_set_bytes*/) const {
+  // Default: the recording changes nothing about admission — a restored
+  // instance is committed like any fresh one.
+  return s.plug_unit;
+}
+
 void ReclaimDriver::OnUnplugIncomplete(int fn, uint64_t leftover) {
   // Whatever the request failed to reclaim stays plugged (and committed);
   // later scale-ups of this VM consume it directly.

@@ -72,6 +72,18 @@ class ReclaimHost {
   // Absorbs one queued unplug if possible; true on success.
   virtual bool TryCancelQueuedUnplug(int fn) = 0;
 
+  // --- Snapshot-restored commitment (cluster snapshot registry) --------------------
+  // Bytes a FRESH plug-grant of fn must reserve on the host book: the full
+  // plug unit normally, or the driver's RestoredCommitment() when a
+  // recorded snapshot proves the instance touches less (the guest plug
+  // itself stays one full unit — Squeezy partitions populate whole — the
+  // runtime tracks the shortfall per VM and unwinds it as unplugs
+  // complete).  Equal to plug_unit(fn) whenever no registry is attached.
+  virtual uint64_t FreshReserveBytes(int fn) const = 0;
+  // Records that a fresh plug of one full unit was backed by a reservation
+  // `shortfall` bytes smaller (snapshot-restored commitment).
+  virtual void NoteUnreservedPlug(int fn, uint64_t shortfall) = 0;
+
   // --- Mechanism verbs -------------------------------------------------------------
   // Plugs `bytes` into fn's VM and grants the waiting scale-up at plug
   // completion.  Pre-condition: the host reservation succeeded.
@@ -139,6 +151,20 @@ class ReclaimDriver {
   // immediate release, then retry starved scale-ups — the shared region
   // is read-only and clean, so there is nothing to migrate or zero.
   virtual void OnImageEvict(int fn, uint64_t image_bytes);
+
+  // --- REAP-style snapshot restore (cluster snapshot registry) ----------------------
+  // Whether the driver can exploit a recorded working set: restored cold
+  // starts bulk-prefetch the recording AND commit only RestoredCommitment
+  // per instance.  Drivers that leave this false never record, never
+  // restore, and stay bit-identical with a registry attached.
+  virtual bool SnapshotRestoreSupported() const { return false; }
+  // Host commitment one RESTORED instance needs.  The recording proves
+  // the instance touches `working_set_bytes` of heap rather than its full
+  // memory limit; a driver that can promise sub-unit commitment returns
+  // the block-rounded working set, everyone else the full plug unit —
+  // this is what the cluster's bin-packing admission sizes against.
+  virtual uint64_t RestoredCommitment(const DriverSizing& s,
+                                      uint64_t working_set_bytes) const;
 
   // --- Per-VM lifecycle ------------------------------------------------------------
   // Called once per VM right after guest construction, before the host

@@ -1,8 +1,22 @@
 #include "src/policy/squeezy_driver.h"
 
+#include <algorithm>
+
 #include "src/core/squeezy.h"
+#include "src/sim/cost_model.h"
 
 namespace squeezy {
+
+uint64_t SqueezyDriver::RestoredCommitment(const DriverSizing& s,
+                                           uint64_t working_set_bytes) const {
+  // Block-rounded recorded heap, never more than the full partition.  The
+  // rounding slack (< 1 block) doubles as tail headroom below the
+  // staleness threshold that forces a re-record.
+  const uint64_t rounded =
+      std::max<uint64_t>(kMemoryBlockBytes,
+                         BytesToBlocks(working_set_bytes) * kMemoryBlockBytes);
+  return std::min(s.plug_unit, rounded);
+}
 
 uint64_t SqueezyDriver::HotplugRegionBytes(const DriverSizing& s) const {
   SqueezyConfig scfg;

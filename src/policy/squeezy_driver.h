@@ -23,6 +23,15 @@ class SqueezyDriver : public VirtioMemDriver {
   // cluster-wide sharing is the natural extension of shared_bytes.
   bool SharedDepsSupported() const override { return true; }
 
+  // Partition-confined instances make the recording trustworthy: an
+  // instance can never grow past its partition, so committing the
+  // block-rounded recorded heap (instead of the full partition) is safe
+  // up to the staleness threshold the registry re-records at.  The other
+  // drivers' flat movable region gives no such confinement.
+  bool SnapshotRestoreSupported() const override { return true; }
+  uint64_t RestoredCommitment(const DriverSizing& s,
+                              uint64_t working_set_bytes) const override;
+
   // The SqueezyManager plugs the shared partition in its constructor;
   // nothing further to do at boot.
   void OnVmBoot(int fn, uint64_t hotplug_region, uint64_t deps_region) override;

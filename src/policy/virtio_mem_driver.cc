@@ -48,7 +48,15 @@ void VirtioMemDriver::AcquireDynamic(int fn, std::function<void(DurationNs)> rea
     GrantFast(std::move(ready));
     return;
   }
-  if (host_->memory().TryReserve(need, host_->events().now())) {
+  // A pure fresh plug (no spare consumed) reserves the snapshot-restored
+  // commitment when a recording allows it: FreshReserveBytes == need
+  // whenever no snapshot registry is in play.  Spare memory is already
+  // committed at full value, so mixed grants keep the full reservation.
+  const uint64_t reserve = from_spare == 0 ? host_->FreshReserveBytes(fn) : need;
+  if (host_->memory().TryReserve(reserve, host_->events().now())) {
+    if (reserve < need) {
+      host_->NoteUnreservedPlug(fn, need - reserve);
+    }
     host_->TakeSpare(fn, from_spare);
     host_->PlugAndGrant(fn, need, std::move(ready));
     return;

@@ -123,6 +123,17 @@ struct CostModel {
   // fixed registry-lookup + mapping-attach cost.
   DurationNs dep_cache_hit_fixed = Msec(1);
 
+  // --- REAP-style snapshot restore (cluster snapshot registry) --------------
+  // Restoring a recorded working set replaces the serial demand-fault storm
+  // of a cold start with ONE bulk prefetch of exactly the recorded pages
+  // (Ustiugov et al.: record-and-prefetch removes most cold-start latency).
+  // Fixed setup: open the snapshot, install the recorded mappings.
+  DurationNs snapshot_restore_fixed = Msec(5);
+  // Sequential read-out of the snapshot file per 1000 bytes (~1.2 GB/s):
+  // faster than the ~600 MB/s random cold IO it replaces, and it amortizes
+  // the per-page fault fixed costs the demand path pays 4 KiB at a time.
+  DurationNs snapshot_prefetch_byte_x1000 = 850;
+
   // --- Misc -----------------------------------------------------------------
   // Reading container rootfs / dependencies from backing store when the
   // page cache misses (cold IO), per byte.  ~600 MB/s effective.
@@ -142,6 +153,9 @@ struct CostModel {
   }
   DurationNs DepFetchBytes(uint64_t bytes) const {
     return static_cast<DurationNs>(bytes) * dep_fetch_byte_x1000 / 1000;
+  }
+  DurationNs SnapshotPrefetchBytes(uint64_t bytes) const {
+    return static_cast<DurationNs>(bytes) * snapshot_prefetch_byte_x1000 / 1000;
   }
   // One pre-copy state transfer of `state_bytes` of touched replica state.
   // `dirty_frac` is the per-round redirty fraction for THIS transfer

@@ -1,0 +1,88 @@
+// Cluster-wide snapshot store: the concrete SnapshotRegistry.
+//
+// One slot per function image, keyed by spec name + sizes; the first host
+// whose VM reaches a fully warmed idle records the touched-page set, every
+// later cold start anywhere in the fleet restores from it (REAP snapshots
+// are content-addressed files on shared storage — residency is global, not
+// per host, unlike the dependency cache's per-host charging).
+//
+// Staleness policy lives here: a restored instance whose post-restore
+// demand-fault tail exceeds `stale_tail_fraction` of the recorded heap
+// invalidates the recording (the workload shifted — e.g. a memhog phase
+// grew the resident set) and the next fully warmed idle re-records.
+#ifndef SQUEEZY_SNAPSHOT_SNAPSHOT_STORE_H_
+#define SQUEEZY_SNAPSHOT_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/faas/snapshot_registry.h"
+
+namespace squeezy {
+
+struct SnapshotStoreConfig {
+  // Post-restore demand-fault tail (fraction of the recorded heap) above
+  // which the recording is declared stale and re-recorded.
+  double stale_tail_fraction = 0.25;
+};
+
+// Fleet-level observability (bench JSON: fig11/fig12 snapshot metrics).
+struct SnapshotStats {
+  uint64_t functions = 0;          // Interned snapshot slots.
+  uint64_t recordings = 0;         // First-time recordings taken.
+  uint64_t re_recordings = 0;      // Recordings taken after an invalidation.
+  uint64_t invalidations = 0;      // Stale recordings dropped.
+  uint64_t restores = 0;           // Cold starts served from a snapshot.
+  uint64_t prefetch_bytes = 0;     // Bytes bulk-prefetched across restores.
+  uint64_t deps_bytes_zeroed = 0;  // Deps prefetch skipped via dep-cache residency.
+  uint64_t tail_bytes = 0;         // Post-restore demand-fault bytes.
+  uint64_t restored_heap_bytes = 0;  // Recorded heap summed over restores.
+
+  // Demand-fault tail as a percentage of the restored heap (0 when no
+  // restore happened): the staleness signal fig12 reports.
+  double tail_fault_rate_pct() const {
+    return restored_heap_bytes == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(tail_bytes) /
+                     static_cast<double>(restored_heap_bytes);
+  }
+};
+
+class SnapshotStore : public SnapshotRegistry {
+ public:
+  SnapshotStore() = default;
+  explicit SnapshotStore(const SnapshotStoreConfig& config) : config_(config) {}
+
+  SnapshotId Intern(const std::string& key) override;
+  bool Recorded(SnapshotId snap) const override;
+  SnapshotImage Image(SnapshotId snap) const override;
+  bool Record(SnapshotId snap, const SnapshotImage& image) override;
+  void Invalidate(SnapshotId snap) override;
+  void NoteRestore(SnapshotId snap, uint64_t prefetch_bytes,
+                   uint64_t deps_bytes_zeroed) override;
+  bool NoteTail(SnapshotId snap, uint64_t tail_bytes) override;
+
+  const SnapshotStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    SnapshotImage image;
+    bool recorded = false;       // A valid recording exists right now.
+    bool ever_recorded = false;  // Distinguishes re-recordings for stats.
+  };
+
+  const Slot& slot(SnapshotId snap) const {
+    return slots_[static_cast<size_t>(snap)];
+  }
+
+  SnapshotStoreConfig config_;
+  std::unordered_map<std::string, SnapshotId> by_key_;
+  std::vector<Slot> slots_;
+  SnapshotStats stats_;
+};
+
+}  // namespace squeezy
+
+#endif  // SQUEEZY_SNAPSHOT_SNAPSHOT_STORE_H_

@@ -664,5 +664,136 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DepCacheFuzzTest, testing::Values(1u, 2u, 3u, 4u
                            return "seed" + std::to_string(info.param);
                          });
 
+// --- Snapshot fuzz: record/evict/restore churn with both registries on -----------
+
+// The DepCacheFuzzTest storm with the snapshot registry on too: every
+// cold start after the first fully-warm idle restores from the shared
+// slot, so Squeezy plugs full units while reserving only the recorded
+// working set (the snapshot_unreserved shortfall pool).  Invariants:
+//   * the host book never exceeds capacity and populated <= committed at
+//     every step — a restore that discounted commitment without bounding
+//     what it populates would break the second;
+//   * recorded images describe the spec (heap == anon working set) unless
+//     a stale recording is mid-re-record;
+//   * at quiescence every discount has unwound through its unplug: the
+//     book is exactly VM bases + the dep cache's charged bytes, same as
+//     with snapshots off — the discount is a loan, not a leak.
+class SnapshotFuzzTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnapshotFuzzTest, RestoreDiscountsUnwindUnderDrainMigrateChurn) {
+  const uint64_t seed = GetParam();
+  constexpr int kFunctions = 4;
+  constexpr uint32_t kConcurrency = 8;
+
+  ClusterConfig cfg;
+  cfg.nr_hosts = 4;
+  cfg.placement = PlacementPolicy::kMemoryAwareBinPack;
+  cfg.migration = MigrationMode::kMigrateOnDrain;
+  cfg.pressure_migrate_min_pending = 1;
+  cfg.shared_dep_cache = true;
+  cfg.shared_snapshots = true;
+  cfg.host.policy = ReclaimPolicy::kSqueezy;
+  cfg.host.host_capacity = MiB(2560);
+  cfg.host.vm_base_memory = MiB(128);
+  cfg.host.keep_alive = Sec(30);
+  cfg.host.pressure_check_period = Msec(500);
+  cfg.host.seed = seed;
+  Cluster cluster(cfg);
+
+  FunctionSpec spec;
+  spec.name = "snapfuzz";
+  spec.vcpu_shares = 1.0;
+  spec.memory_limit = MiB(256);
+  spec.anon_working_set = MiB(96);
+  spec.file_deps_bytes = MiB(64);
+  spec.container_init_cpu = Msec(80);
+  spec.function_init_cpu = Msec(120);
+  spec.exec_cpu_mean = Msec(100);
+  spec.exec_cv = 0.0;
+
+  std::vector<uint64_t> base_commit(cluster.host_count(), 0);
+  for (int f = 0; f < kFunctions; ++f) {
+    const int fn = cluster.AddFunction(spec, kConcurrency);
+    for (const Replica& r : cluster.replicas(fn)) {
+      base_commit[r.host] += cfg.host.vm_base_memory;
+    }
+  }
+  const DepCache& cache = *cluster.dep_cache();
+  const SnapshotStore& store = *cluster.snapshot_store();
+
+  ClusterTraceConfig trace;
+  trace.duration = Minutes(6);
+  trace.nr_functions = kFunctions;
+  trace.total_base_rate_per_sec = 2.0;
+  trace.zipf_s = 1.2;
+  trace.bursty_fraction = 0.5;
+  trace.burst_multiplier = 30.0;
+  trace.mean_burst_len = Sec(20);
+  trace.mean_gap = Sec(60);
+  cluster.SubmitTrace(GenerateClusterTrace(trace, seed));
+
+  auto check_books = [&](int step) {
+    for (size_t h = 0; h < cluster.host_count(); ++h) {
+      const FaasRuntime& host = cluster.host(h);
+      ASSERT_LE(host.committed(), host.host_capacity()) << "step " << step;
+      ASSERT_LE(host.host().populated(), host.committed()) << "step " << step;
+      for (size_t fn = 0; fn < host.function_count(); ++fn) {
+        const SnapshotId snap = host.snapshot_id(static_cast<int>(fn));
+        ASSERT_NE(snap, kNoSnapshot) << "step " << step;
+        if (store.Recorded(snap)) {
+          ASSERT_EQ(store.Image(snap).heap_bytes, spec.anon_working_set)
+              << "step " << step;
+        }
+      }
+    }
+  };
+
+  Rng rng(seed * 6364136223846793005ull + 31);
+  TimeNs t = 0;
+  for (int step = 0; step < 30; ++step) {
+    t += Sec(rng.UniformInt(2, 20));
+    cluster.RunUntil(t);
+    const size_t h =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(cluster.host_count()) - 1));
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        cluster.DrainHost(h);
+        break;
+      case 1:
+        cluster.UndrainHost(h);
+        break;
+      case 2:
+        cluster.MigratePressured();
+        break;
+      case 3:
+        break;
+    }
+    check_books(step);
+  }
+
+  cluster.RunAll();
+  check_books(999);
+  // All four cluster functions share one spec, so one snapshot slot; the
+  // churn is long enough that it recorded and restored at least once.
+  EXPECT_EQ(store.stats().functions, 1u);
+  EXPECT_GE(store.stats().recordings, 1u);
+  EXPECT_GT(store.stats().restores, 0u);
+  EXPECT_GT(store.stats().prefetch_bytes, 0u);
+  for (size_t h = 0; h < cluster.host_count(); ++h) {
+    const FaasRuntime& host = cluster.host(h);
+    EXPECT_EQ(host.committed(), base_commit[h] + cache.charged_bytes(h))
+        << "host " << h;
+    EXPECT_LE(host.host().populated(), host.committed());
+    for (size_t fn = 0; fn < host.function_count(); ++fn) {
+      EXPECT_EQ(host.agent(static_cast<int>(fn)).live_instances(), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotFuzzTest, testing::Values(1u, 2u, 3u, 4u, 5u, 6u),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
 }  // namespace
 }  // namespace squeezy

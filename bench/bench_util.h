@@ -2,6 +2,7 @@
 #ifndef SQUEEZY_BENCH_BENCH_UTIL_H_
 #define SQUEEZY_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -14,6 +15,24 @@
 #include <vector>
 
 namespace squeezy {
+
+// THE one sanctioned wall-clock in the tree (tools/determinism_lint.py
+// allowlists exactly this file): benches time their own execution to
+// report events/sec.  Wall time is reported, never fed back into the
+// simulation — sim results stay a pure function of (config, seed).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  // Seconds since construction (monotonic; immune to NTP steps).
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 // Banner printed by every bench binary: which paper artifact it
 // regenerates and what to look for.

@@ -24,7 +24,6 @@
 // Expected outcome printed by the table: Squeezy + MemBinPack admits >=
 // as many invocations as every other reclaim x placement combination,
 // with fleet p99 close to the unconstrained baseline.
-#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <memory>
@@ -82,15 +81,14 @@ ComboResult RunCombo(ReclaimPolicy reclaim, PlacementPolicy placement,
     *trace_size = trace.size();
   }
   cluster.SubmitTrace(trace);
-  const auto wall_start = std::chrono::steady_clock::now();
+  const WallTimer wall;
   cluster.RunUntil(kHorizon);
-  const auto wall_end = std::chrono::steady_clock::now();
 
   ComboResult r;
   r.reclaim = reclaim;
   r.placement = placement;
   r.events = cluster.events().processed_events();
-  r.wall_sec = std::chrono::duration<double>(wall_end - wall_start).count();
+  r.wall_sec = wall.Seconds();
   r.fleet = cluster.Summarize(kHorizon);
   r.admitted = trace.size() - r.fleet.unplaced_invocations;
   if (hints_fired != nullptr) {
@@ -155,10 +153,9 @@ QueueStormResult RunQueueStorm(EventQueue::Impl impl, size_t hosts,
           &q, Msec(500), [qp = &q] { return qp->now() < kDuration; }));
       ticks.back()->Start();
     }
-    const auto wall_start = std::chrono::steady_clock::now();
+    const WallTimer timer;
     q.RunUntil(kHorizon);
-    const auto wall_end = std::chrono::steady_clock::now();
-    const double wall = std::chrono::duration<double>(wall_end - wall_start).count();
+    const double wall = timer.Seconds();
     r.events = q.processed_events();
     if (wall > 0) {
       r.best_events_per_sec =

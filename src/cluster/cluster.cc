@@ -36,6 +36,7 @@ Cluster::Cluster(const ClusterConfig& config)
 Cluster::~Cluster() = default;
 
 int Cluster::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency) {
+  MutexLock lock(&mu_);
   const int cluster_fn = static_cast<int>(functions_.size());
   const uint64_t boot_commit =
       FaasRuntime::BootCommitment(config_.host, spec, max_concurrency);
@@ -63,6 +64,7 @@ int Cluster::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency) {
 
 void Cluster::DrainHost(size_t h) {
   if (config_.migration == MigrationMode::kMigrateOnDrain && !hosts_[h]->draining()) {
+    MutexLock lock(&mu_);
     MigrateOff(h);
   }
   hosts_[h]->Drain();
@@ -76,6 +78,7 @@ size_t Cluster::MigratePressured() {
   if (victim < 0) {
     return 0;
   }
+  MutexLock lock(&mu_);
   return MigrateOff(static_cast<size_t>(victim));
 }
 
@@ -163,7 +166,10 @@ size_t Cluster::MigrateOff(size_t src) {
       rec.done_at = done_at;
       migrations_.push_back(rec);
       ++in_flight_migrations_;
-      events_.ScheduleAt(done_at, [this] { --in_flight_migrations_; });
+      events_.ScheduleAt(done_at, [this] {
+        MutexLock handler_lock(&mu_);
+        --in_flight_migrations_;
+      });
       ++started;
       break;
     }
@@ -174,6 +180,7 @@ size_t Cluster::MigrateOff(size_t src) {
 }
 
 void Cluster::SubmitTrace(const std::vector<Invocation>& trace) {
+  MutexLock lock(&mu_);
   for (const Invocation& inv : trace) {
     const int cluster_fn = inv.function;
     assert(cluster_fn >= 0 && static_cast<size_t>(cluster_fn) < functions_.size());
@@ -182,6 +189,7 @@ void Cluster::SubmitTrace(const std::vector<Invocation>& trace) {
 }
 
 void Cluster::Dispatch(int cluster_fn) {
+  MutexLock lock(&mu_);
   if (functions_[static_cast<size_t>(cluster_fn)].empty()) {
     ++unplaced_;  // No host could ever fit this function's VM.
     return;
@@ -236,9 +244,12 @@ FleetSummary Cluster::Summarize(TimeNs horizon) const {
     s.pending_scaleups_total += h->total_pending_scaleups();
     s.unplug_failures += h->total_unplug_failures();
   }
-  s.unplaced_invocations = unplaced_;
-  s.migrations = migrations_.size();
-  s.migrated_instances = migrated_instances_;
+  {
+    MutexLock lock(&mu_);
+    s.unplaced_invocations = unplaced_;
+    s.migrations = migrations_.size();
+    s.migrated_instances = migrated_instances_;
+  }
   const LatencyRecorder fleet = MergeLatencies(recorders);
   if (!fleet.empty()) {
     s.latency_p50 = fleet.Percentile(50);

@@ -28,6 +28,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/cluster/dep_cache.h"
 #include "src/cluster/migration_planner.h"
 #include "src/cluster/scheduler.h"
@@ -74,6 +76,13 @@ struct ClusterConfig {
   EventQueue::Impl queue_impl = EventQueue::Impl::kTimerWheel;
 };
 
+// Lock discipline: the cluster self-locks (`mu_`) around its routing and
+// migration book.  `mu_` is the TOP of the cluster lock ordering
+// (src/base/mutex.h): cluster methods call down into the scheduler,
+// planner, registries, hosts and the event queue while holding it, and
+// none of those layers ever calls back up into the Cluster — event
+// handlers the cluster schedules re-acquire `mu_` themselves (the queue
+// invokes them with its own lock released).
 class Cluster {
  public:
   explicit Cluster(const ClusterConfig& config);
@@ -85,11 +94,12 @@ class Cluster {
   // (replicas(fn).empty()), in which case its invocations are rejected and
   // counted as unplaced.  That is the fleet-capacity lever: a reclaim
   // policy that hoards commitment (kStatic) loses registrable functions.
-  int AddFunction(const FunctionSpec& spec, uint32_t max_concurrency);
+  int AddFunction(const FunctionSpec& spec, uint32_t max_concurrency)
+      SQZ_EXCLUDES(mu_);
 
   // Schedules the merged fleet trace (Invocation::function is a cluster
   // function index).  Routing happens per invocation at its arrival time.
-  void SubmitTrace(const std::vector<Invocation>& trace);
+  void SubmitTrace(const std::vector<Invocation>& trace) SQZ_EXCLUDES(mu_);
 
   void RunUntil(TimeNs t) { events_.RunUntil(t); }
   void RunAll() { events_.RunAll(); }
@@ -100,22 +110,29 @@ class Cluster {
   FaasRuntime& host(size_t h) { return *hosts_[h]; }
   const FaasRuntime& host(size_t h) const { return *hosts_[h]; }
   ClusterScheduler& scheduler() { return *scheduler_; }
-  size_t function_count() const { return functions_.size(); }
-  const std::vector<Replica>& replicas(int cluster_fn) const {
+  size_t function_count() const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return functions_.size();
+  }
+  // Returns a reference into the (locked) function table; callers run at
+  // quiescence (tests/benches between Run* calls) — under sharding this
+  // accessor is an epoch-barrier read.
+  const std::vector<Replica>& replicas(int cluster_fn) const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return functions_[static_cast<size_t>(cluster_fn)];
   }
 
   // --- Maintenance (the HostControl plane, fleet-side) -----------------------------
   // Under kMigrateOnDrain, live-migrates the host's warm replicas to
   // planner-chosen destinations before flipping it into draining.
-  void DrainHost(size_t h);
+  void DrainHost(size_t h) SQZ_EXCLUDES(mu_);
   void UndrainHost(size_t h) { hosts_[h]->Undrain(); }
   // One pressure-relief pass (kMigrateOnDrain only): if some host is
   // starving scale-ups (>= config.pressure_migrate_min_pending pending),
   // migrate its warm-but-idle replicas to hosts with headroom, freeing the
   // donor's commitment for the work it is actually serving.  Returns the
   // migrations started.
-  size_t MigratePressured();
+  size_t MigratePressured() SQZ_EXCLUDES(mu_);
 
   // --- Shared dependency cache ------------------------------------------------------
   // Null unless ClusterConfig::shared_dep_cache.
@@ -138,52 +155,85 @@ class Cluster {
 
   // --- Migration introspection ------------------------------------------------------
   MigrationPlanner& planner() { return *planner_; }
-  const std::vector<MigrationRecord>& migrations() const { return migrations_; }
+  // Reference into the locked migration log — same quiescence contract
+  // as replicas().
+  const std::vector<MigrationRecord>& migrations() const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return migrations_;
+  }
   // Transfers started whose completion instant has not passed yet.
-  uint64_t migrations_in_flight() const { return in_flight_migrations_; }
+  uint64_t migrations_in_flight() const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return in_flight_migrations_;
+  }
   // Warm instances that landed on (were admitted by) destination hosts.
-  uint64_t migrated_instances() const { return migrated_instances_; }
+  uint64_t migrated_instances() const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return migrated_instances_;
+  }
   // Warm instances captured off donors but dropped (no destination fit or
   // the destination's admission ran out) — these cost future cold starts.
-  uint64_t migration_reaped_instances() const { return migration_reaped_instances_; }
+  uint64_t migration_reaped_instances() const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return migration_reaped_instances_;
+  }
 
   // Invocations routed to host h so far.
-  uint64_t routed_to(size_t h) const { return routed_[h]; }
+  uint64_t routed_to(size_t h) const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return routed_[h];
+  }
   // Invocations rejected because their function has no replica anywhere.
-  uint64_t unplaced_invocations() const { return unplaced_; }
+  uint64_t unplaced_invocations() const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return unplaced_;
+  }
   // Order-sensitive FNV-1a digest of every routing decision; equal hashes
   // across runs mean identical placement streams (determinism tests).
-  uint64_t routing_hash() const { return routing_hash_; }
+  uint64_t routing_hash() const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return routing_hash_;
+  }
 
   // --- Fleet metrics ---------------------------------------------------------------
   // Pointwise sum of per-host committed-memory series.
   StepSeries FleetCommittedSeries() const;
   // Fleet rollup over [0, horizon] (latency percentiles merge every
   // replica's recorder; totals sum across hosts).
-  FleetSummary Summarize(TimeNs horizon) const;
+  FleetSummary Summarize(TimeNs horizon) const SQZ_EXCLUDES(mu_);
 
  private:
-  void Dispatch(int cluster_fn);
+  // Event-handler entry point (locks mu_ itself; the queue invokes
+  // handlers with its own lock released).
+  void Dispatch(int cluster_fn) SQZ_EXCLUDES(mu_);
   // Migrates every warm replica off host `src`; returns transfers started.
-  size_t MigrateOff(size_t src);
+  size_t MigrateOff(size_t src) SQZ_REQUIRES(mu_);
 
-  ClusterConfig config_;
-  EventQueue events_;
+  const ClusterConfig config_;  // Immutable after construction.
+  EventQueue events_;           // Self-locking (see event_queue.h).
+  // The unique_ptr targets below are installed once in the constructor
+  // and never reseated; the pointed-to objects self-lock.
   std::unique_ptr<DepCache> dep_cache_;  // Null unless shared_dep_cache.
   std::unique_ptr<SnapshotStore> snapshot_store_;  // Null unless shared_snapshots.
   std::vector<std::unique_ptr<FaasRuntime>> hosts_;
   std::unique_ptr<ClusterScheduler> scheduler_;
   std::unique_ptr<MigrationPlanner> planner_;
-  std::vector<std::vector<Replica>> functions_;
-  std::vector<uint64_t> fn_plug_unit_;  // Destination sizing per function.
-  std::vector<DepImageId> fn_dep_image_;  // Registry image per function.
-  std::vector<uint64_t> routed_;
-  std::vector<MigrationRecord> migrations_;
-  uint64_t in_flight_migrations_ = 0;
-  uint64_t migrated_instances_ = 0;
-  uint64_t migration_reaped_instances_ = 0;
-  uint64_t unplaced_ = 0;
-  uint64_t routing_hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+
+  // Guards the routing/migration book below.
+  mutable Mutex mu_;
+  std::vector<std::vector<Replica>> functions_ SQZ_GUARDED_BY(mu_);
+  // Destination sizing per function.
+  std::vector<uint64_t> fn_plug_unit_ SQZ_GUARDED_BY(mu_);
+  // Registry image per function.
+  std::vector<DepImageId> fn_dep_image_ SQZ_GUARDED_BY(mu_);
+  std::vector<uint64_t> routed_ SQZ_GUARDED_BY(mu_);
+  std::vector<MigrationRecord> migrations_ SQZ_GUARDED_BY(mu_);
+  uint64_t in_flight_migrations_ SQZ_GUARDED_BY(mu_) = 0;
+  uint64_t migrated_instances_ SQZ_GUARDED_BY(mu_) = 0;
+  uint64_t migration_reaped_instances_ SQZ_GUARDED_BY(mu_) = 0;
+  uint64_t unplaced_ SQZ_GUARDED_BY(mu_) = 0;
+  // FNV-1a offset basis.
+  uint64_t routing_hash_ SQZ_GUARDED_BY(mu_) = 0xcbf29ce484222325ULL;
 };
 
 }  // namespace squeezy

@@ -38,6 +38,7 @@ ClusterScheduler::ClusterScheduler(PlacementPolicy policy, std::vector<HostContr
 std::vector<size_t> ClusterScheduler::PlaceFunction(uint64_t boot_commit,
                                                     uint64_t plug_unit,
                                                     size_t replicas) {
+  MutexLock lock(&mu_);
   fn_plug_unit_.push_back(plug_unit);
   replicas = std::min(std::max<size_t>(replicas, 1), hosts_.size());
   // Hard admission: only non-draining hosts that can commit the VM's boot
@@ -151,6 +152,7 @@ size_t ClusterScheduler::LeastCommittedOf(const std::vector<Replica>& replicas,
 const Replica& ClusterScheduler::Route(int cluster_fn,
                                        const std::vector<Replica>& replicas) {
   assert(!replicas.empty());
+  MutexLock lock(&mu_);
   ++decisions_;
 
   // One consistent snapshot per replica for this whole decision: committed,

@@ -79,6 +79,7 @@ BalloonOutcome BalloonDevice::Inflate(uint64_t bytes, Zone* zone, TimeNs now) {
 }
 
 DurationNs BalloonDevice::Deflate(uint64_t bytes, MemMap& memmap, Zone* zone) {
+  (void)memmap;  // Used only by the assert below in debug builds.
   const uint64_t want = std::min<uint64_t>(BytesToPages(bytes), held_.size());
   DurationNs latency = 0;
   for (uint64_t i = 0; i < want; ++i) {

@@ -15,6 +15,7 @@ PlugOutcome VirtioMemDevice::Plug(uint64_t bytes, TimeNs now) {
   PlugOutcome out;
   const uint64_t want = BytesToBlocks(bytes);
   MemMap* mm = hotplug_->memmap();
+  (void)mm;  // Used only by the assert below in debug builds.
 
   out.latency += hotplug_->cost().plug_request_fixed;
   for (const BlockIndex b : hooks_->SelectPlugBlocks(want)) {

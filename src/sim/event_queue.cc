@@ -20,7 +20,7 @@ EventQueue::EventQueue(Impl impl) : use_wheel_(impl == Impl::kTimerWheel) {
   }
 }
 
-EventId EventQueue::ScheduleAt(TimeNs when, std::function<void()> fn) {
+EventId EventQueue::ScheduleAtLocked(TimeNs when, std::function<void()> fn) {
   if (when < now_) {
     when = now_;
   }
@@ -30,9 +30,15 @@ EventId EventQueue::ScheduleAt(TimeNs when, std::function<void()> fn) {
   return id;
 }
 
+EventId EventQueue::ScheduleAt(TimeNs when, std::function<void()> fn) {
+  MutexLock lock(&mu_);
+  return ScheduleAtLocked(when, std::move(fn));
+}
+
 EventId EventQueue::ScheduleAfter(DurationNs delay, std::function<void()> fn) {
   assert(delay >= 0);
-  return ScheduleAt(now_ + delay, std::move(fn));
+  MutexLock lock(&mu_);
+  return ScheduleAtLocked(now_ + delay, std::move(fn));
 }
 
 void EventQueue::PushFine(Entry e) {
@@ -199,6 +205,7 @@ EventQueue::Entry EventQueue::PopPeeked() {
 }
 
 bool EventQueue::Cancel(EventId id) {
+  MutexLock lock(&mu_);
   // Lazy deletion: forget the id, skip its entry when popped.  Only an
   // issued-and-still-live id cancels; already-run, already-cancelled and
   // never-issued ids (including kInvalidEventId) are no-ops.
@@ -208,7 +215,7 @@ bool EventQueue::Cancel(EventId id) {
   // Storage bound: a cancel-heavy workload (keep-alive churn) must not
   // grow the structures — or the closures its tombstones own — without
   // limit.  Compact once tombstones outnumber live entries.
-  const size_t stored = stored_entries();
+  const size_t stored = StoredEntriesLocked();
   if (stored >= kCompactMinStored && live_.size() * 2 < stored) {
     Compact();
   }
@@ -235,39 +242,51 @@ void EventQueue::Compact() {
 
 void EventQueue::AdvanceBy(DurationNs d) {
   assert(d >= 0);
+  MutexLock lock(&mu_);
   now_ += d;
 }
 
-void EventQueue::RunPeeked() {
+std::function<void()> EventQueue::TakePeeked() {
   Entry top = PopPeeked();
   live_.erase(top.id);
   if (top.when > now_) {
     now_ = top.when;
   }
   ++processed_;
-  top.fn();
+  return std::move(top.fn);
 }
 
 bool EventQueue::RunOne() {
-  if (PeekEarliestLive() == nullptr) {
-    return false;
+  std::function<void()> fn;
+  {
+    MutexLock lock(&mu_);
+    if (PeekEarliestLive() == nullptr) {
+      return false;
+    }
+    fn = TakePeeked();
   }
-  RunPeeked();
+  fn();  // Handler runs unlocked: it may re-enter Schedule*/Cancel.
   return true;
 }
 
 void EventQueue::RunUntil(TimeNs deadline) {
-  // Peek-then-pop in one pass (RunOne would re-peek what the deadline
-  // check already positioned — measurable at fleet-scale event rates).
+  // Peek-then-pop under ONE acquisition per event (RunOne would re-peek
+  // what the deadline check already positioned — measurable at
+  // fleet-scale event rates), handler invocation outside it.
   for (;;) {
-    const Entry* peeked = PeekEarliestLive();
-    if (peeked == nullptr || peeked->when > deadline) {
-      break;
+    std::function<void()> fn;
+    {
+      MutexLock lock(&mu_);
+      const Entry* peeked = PeekEarliestLive();
+      if (peeked == nullptr || peeked->when > deadline) {
+        if (now_ < deadline) {
+          now_ = deadline;
+        }
+        return;
+      }
+      fn = TakePeeked();
     }
-    RunPeeked();
-  }
-  if (now_ < deadline) {
-    now_ = deadline;
+    fn();  // Handler runs unlocked: it may re-enter Schedule*/Cancel.
   }
 }
 

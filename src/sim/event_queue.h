@@ -26,6 +26,8 @@
 #include <functional>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/sim/time.h"
 
 namespace squeezy {
@@ -130,6 +132,12 @@ class EventIdSet {
   size_t size_ = 0;
 };
 
+// Lock discipline: the queue self-locks (`mu_`), and event handlers are
+// ALWAYS invoked with `mu_` released — a handler may freely call
+// ScheduleAt/ScheduleAfter/Cancel back into the queue (the simulator does
+// this constantly).  Today a single thread drives the queue; once the
+// per-host sharding lands, `mu_` is the shard's serialization point and
+// the discipline below is already machine-checked by clang.
 class EventQueue {
  public:
   enum class Impl {
@@ -142,13 +150,16 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  TimeNs now() const { return now_; }
+  TimeNs now() const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return now_;
+  }
 
   // Schedules `fn` to run at absolute virtual time `when` (clamped to now).
-  EventId ScheduleAt(TimeNs when, std::function<void()> fn);
+  EventId ScheduleAt(TimeNs when, std::function<void()> fn) SQZ_EXCLUDES(mu_);
 
   // Schedules `fn` to run `delay` after the current virtual time.
-  EventId ScheduleAfter(DurationNs delay, std::function<void()> fn);
+  EventId ScheduleAfter(DurationNs delay, std::function<void()> fn) SQZ_EXCLUDES(mu_);
 
   // Cancels a pending event.  Returns false if it already ran, was
   // cancelled, or was never issued.  Cancelling kInvalidEventId is a
@@ -156,30 +167,40 @@ class EventQueue {
   // but storage stays bounded: once live entries fall below half of the
   // stored ones, the tombstones — and the closures they own — are
   // compacted away instead of lingering until naturally popped.
-  bool Cancel(EventId id);
+  bool Cancel(EventId id) SQZ_EXCLUDES(mu_);
 
   // Advances the clock without running events (used by synchronous cost
   // accounting: an operation that "takes" 5 ms simply advances time).
   // Events that become due are NOT run; call Run* to drain them.
-  void AdvanceBy(DurationNs d);
+  void AdvanceBy(DurationNs d) SQZ_EXCLUDES(mu_);
 
   // Runs events until the queue is empty or the clock passes `deadline`.
   // The clock ends at max(deadline, last event time <= deadline).
-  void RunUntil(TimeNs deadline);
+  void RunUntil(TimeNs deadline) SQZ_EXCLUDES(mu_);
 
   // Runs every pending event (including ones scheduled while draining).
   // `max_events` guards against runaway self-rescheduling loops.
-  void RunAll(uint64_t max_events = 50'000'000);
+  void RunAll(uint64_t max_events = 50'000'000) SQZ_EXCLUDES(mu_);
 
-  bool empty() const { return live_.empty(); }
-  size_t pending() const { return live_.size(); }
+  bool empty() const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return live_.empty();
+  }
+  size_t pending() const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return live_.size();
+  }
   // Entries physically stored (live + not-yet-compacted tombstones);
   // the cancel-heavy-workload bound locked by tests/sim_test.cc.
-  size_t stored_entries() const {
-    return fine_count_ + coarse_count_ + overflow_.size();
+  size_t stored_entries() const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return StoredEntriesLocked();
   }
   // Events actually executed so far (bench throughput accounting).
-  uint64_t processed_events() const { return processed_; }
+  uint64_t processed_events() const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return processed_;
+  }
 
  private:
   struct Entry {
@@ -214,51 +235,67 @@ class EventQueue {
     return static_cast<uint64_t>(when) >> kCoarseShift;
   }
 
-  void Insert(Entry e);
+  // Issues the id and stores the entry; the locked core of ScheduleAt
+  // (ScheduleAfter reads now_ under the same acquisition, so it cannot
+  // re-lock through the public entry point).
+  EventId ScheduleAtLocked(TimeNs when, std::function<void()> fn) SQZ_REQUIRES(mu_);
+  void Insert(Entry e) SQZ_REQUIRES(mu_);
   // Slot-heap push into the fine wheel (rewinds the scan cursor).
-  void PushFine(Entry e);
+  void PushFine(Entry e) SQZ_REQUIRES(mu_);
   // Moves overflow entries that entered the coarse window into their
   // slots (current-region entries go straight to the fine wheel).
   // Entries *before* the window stay put — the peek comparison finds
   // them there.
-  void CascadeOverflow();
+  void CascadeOverflow() SQZ_REQUIRES(mu_);
   // Refills the empty fine wheel: cascades overflow, then advances (or
   // jumps) the region to the next non-empty coarse slot and dumps it.
   // Returns whether the fine wheel is non-empty afterwards; false means
   // the only remaining entries (if any) sit in the overflow heap.
-  bool RefillFine();
+  bool RefillFine() SQZ_REQUIRES(mu_);
   // Prunes cancelled tombstones, positions the fine cursor at the
   // wheel's earliest entry, and returns the earliest live entry (wheel
   // vs overflow decided by (when, seq)) — or nullptr when drained.
   // Sets peek_overflow_ for PopPeeked.
-  const Entry* PeekEarliestLive();
-  Entry PopPeeked();
-  // Pops and executes the entry PeekEarliestLive just positioned
-  // (shared by RunOne and RunUntil's single-peek fast path).
-  void RunPeeked();
+  const Entry* PeekEarliestLive() SQZ_REQUIRES(mu_);
+  Entry PopPeeked() SQZ_REQUIRES(mu_);
+  // Pops the entry PeekEarliestLive just positioned, retires its id,
+  // advances the clock and returns its closure — which the CALLER must
+  // invoke after releasing mu_ (handlers re-enter the queue).
+  std::function<void()> TakePeeked() SQZ_REQUIRES(mu_);
   // Drops every tombstone from the wheels and overflow (storage bound).
-  void Compact();
+  void Compact() SQZ_REQUIRES(mu_);
   // Pops and runs the earliest live event; returns false when empty.
-  bool RunOne();
+  bool RunOne() SQZ_EXCLUDES(mu_);
+  size_t StoredEntriesLocked() const SQZ_REQUIRES(mu_) {
+    return fine_count_ + coarse_count_ + overflow_.size();
+  }
 
-  TimeNs now_ = 0;
-  uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
-  uint64_t processed_ = 0;
-  bool use_wheel_ = true;
-  bool peek_overflow_ = false;
-  uint64_t region_ = 0;       // Coarse tick covered by the fine wheel.
-  uint64_t fine_cursor_ = 0;  // Fine-tick scan position within region_.
-  size_t fine_count_ = 0;     // Entries stored across fine slots.
-  size_t coarse_count_ = 0;   // Entries stored across coarse slots.
-  std::vector<std::vector<Entry>> fine_slots_;    // Min-heaps by (when, seq).
-  std::vector<std::vector<Entry>> coarse_slots_;  // Unsorted buckets.
-  std::vector<Entry> overflow_;                   // Min-heap by (when, seq).
+  // Guards every piece of queue state below.  mutable: const observers
+  // (now, pending, ...) take it too — a torn read is still a race.
+  mutable Mutex mu_;
+  TimeNs now_ SQZ_GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ SQZ_GUARDED_BY(mu_) = 1;
+  EventId next_id_ SQZ_GUARDED_BY(mu_) = 1;
+  uint64_t processed_ SQZ_GUARDED_BY(mu_) = 0;
+  const bool use_wheel_ = true;  // Set at construction, immutable after.
+  bool peek_overflow_ SQZ_GUARDED_BY(mu_) = false;
+  // Coarse tick covered by the fine wheel.
+  uint64_t region_ SQZ_GUARDED_BY(mu_) = 0;
+  // Fine-tick scan position within region_.
+  uint64_t fine_cursor_ SQZ_GUARDED_BY(mu_) = 0;
+  size_t fine_count_ SQZ_GUARDED_BY(mu_) = 0;    // Entries across fine slots.
+  size_t coarse_count_ SQZ_GUARDED_BY(mu_) = 0;  // Entries across coarse slots.
+  // Min-heaps by (when, seq).
+  std::vector<std::vector<Entry>> fine_slots_ SQZ_GUARDED_BY(mu_);
+  // Unsorted buckets.
+  std::vector<std::vector<Entry>> coarse_slots_ SQZ_GUARDED_BY(mu_);
+  // Min-heap by (when, seq).
+  std::vector<Entry> overflow_ SQZ_GUARDED_BY(mu_);
   // Ids issued and neither run nor cancelled yet.  Ids are unique and
   // never reused, so a stored entry whose id is absent here is a
   // cancellation tombstone — no separate cancelled set that could leak
   // entries for already-run or never-issued ids.
-  EventIdSet live_;
+  EventIdSet live_ SQZ_GUARDED_BY(mu_);
 };
 
 // One persistent closure re-armed in place.  Per-host periodic work

@@ -5,6 +5,7 @@
 namespace squeezy {
 
 SnapshotId SnapshotStore::Intern(const std::string& key) {
+  MutexLock lock(&mu_);
   auto it = by_key_.find(key);
   if (it != by_key_.end()) {
     return it->second;
@@ -16,14 +17,19 @@ SnapshotId SnapshotStore::Intern(const std::string& key) {
   return snap;
 }
 
-bool SnapshotStore::Recorded(SnapshotId snap) const { return slot(snap).recorded; }
+bool SnapshotStore::Recorded(SnapshotId snap) const {
+  MutexLock lock(&mu_);
+  return slot(snap).recorded;
+}
 
 SnapshotImage SnapshotStore::Image(SnapshotId snap) const {
+  MutexLock lock(&mu_);
   assert(slot(snap).recorded);
   return slot(snap).image;
 }
 
 bool SnapshotStore::Record(SnapshotId snap, const SnapshotImage& image) {
+  MutexLock lock(&mu_);
   Slot& s = slots_[static_cast<size_t>(snap)];
   if (s.recorded) {
     return false;  // Record-once: a valid recording is never overwritten.
@@ -39,7 +45,7 @@ bool SnapshotStore::Record(SnapshotId snap, const SnapshotImage& image) {
   return true;
 }
 
-void SnapshotStore::Invalidate(SnapshotId snap) {
+void SnapshotStore::InvalidateLocked(SnapshotId snap) {
   Slot& s = slots_[static_cast<size_t>(snap)];
   if (!s.recorded) {
     return;
@@ -48,8 +54,14 @@ void SnapshotStore::Invalidate(SnapshotId snap) {
   ++stats_.invalidations;
 }
 
+void SnapshotStore::Invalidate(SnapshotId snap) {
+  MutexLock lock(&mu_);
+  InvalidateLocked(snap);
+}
+
 void SnapshotStore::NoteRestore(SnapshotId snap, uint64_t prefetch_bytes,
                                 uint64_t deps_bytes_zeroed) {
+  MutexLock lock(&mu_);
   ++stats_.restores;
   stats_.prefetch_bytes += prefetch_bytes;
   stats_.deps_bytes_zeroed += deps_bytes_zeroed;
@@ -57,6 +69,7 @@ void SnapshotStore::NoteRestore(SnapshotId snap, uint64_t prefetch_bytes,
 }
 
 bool SnapshotStore::NoteTail(SnapshotId snap, uint64_t tail_bytes) {
+  MutexLock lock(&mu_);
   stats_.tail_bytes += tail_bytes;
   const Slot& s = slot(snap);
   if (!s.recorded) {
@@ -69,8 +82,20 @@ bool SnapshotStore::NoteTail(SnapshotId snap, uint64_t tail_bytes) {
   }
   // The workload shifted past the recording: drop it; the next fully
   // warmed idle re-records the grown working set.
-  Invalidate(snap);
+  InvalidateLocked(snap);
   return true;
+}
+
+std::vector<std::string> SnapshotStore::RecordedKeys() const {
+  MutexLock lock(&mu_);
+  std::vector<std::string> out;
+  // by_key_ is ordered: key-sorted regardless of Intern() order.
+  for (const auto& [key, snap] : by_key_) {
+    if (slots_[static_cast<size_t>(snap)].recorded) {
+      out.push_back(key);
+    }
+  }
+  return out;
 }
 
 }  // namespace squeezy

@@ -14,10 +14,12 @@
 #define SQUEEZY_SNAPSHOT_SNAPSHOT_STORE_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/faas/snapshot_registry.h"
 
 namespace squeezy {
@@ -50,21 +52,33 @@ struct SnapshotStats {
   }
 };
 
+// Lock discipline: the store self-locks (`mu_`) — recordings live on
+// shared storage, so every host's runtime reaches into this one object.
+// Methods never call out of the class while holding `mu_`; the lock is a
+// leaf in the cluster ordering (see src/base/mutex.h).
 class SnapshotStore : public SnapshotRegistry {
  public:
   SnapshotStore() = default;
   explicit SnapshotStore(const SnapshotStoreConfig& config) : config_(config) {}
 
-  SnapshotId Intern(const std::string& key) override;
-  bool Recorded(SnapshotId snap) const override;
-  SnapshotImage Image(SnapshotId snap) const override;
-  bool Record(SnapshotId snap, const SnapshotImage& image) override;
-  void Invalidate(SnapshotId snap) override;
+  SnapshotId Intern(const std::string& key) override SQZ_EXCLUDES(mu_);
+  bool Recorded(SnapshotId snap) const override SQZ_EXCLUDES(mu_);
+  SnapshotImage Image(SnapshotId snap) const override SQZ_EXCLUDES(mu_);
+  bool Record(SnapshotId snap, const SnapshotImage& image) override SQZ_EXCLUDES(mu_);
+  void Invalidate(SnapshotId snap) override SQZ_EXCLUDES(mu_);
   void NoteRestore(SnapshotId snap, uint64_t prefetch_bytes,
-                   uint64_t deps_bytes_zeroed) override;
-  bool NoteTail(SnapshotId snap, uint64_t tail_bytes) override;
+                   uint64_t deps_bytes_zeroed) override SQZ_EXCLUDES(mu_);
+  bool NoteTail(SnapshotId snap, uint64_t tail_bytes) override SQZ_EXCLUDES(mu_);
 
-  const SnapshotStats& stats() const { return stats_; }
+  SnapshotStats stats() const SQZ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+  // Keys of every currently-valid recording, in key order.  Sim-visible
+  // dump path: iteration runs over the ordered key index, never a hash
+  // table, so the listing is a pure function of the recorded set
+  // (insertion-order invariance locked by tests/determinism_order_test.cc).
+  std::vector<std::string> RecordedKeys() const SQZ_EXCLUDES(mu_);
 
  private:
   struct Slot {
@@ -73,14 +87,19 @@ class SnapshotStore : public SnapshotRegistry {
     bool ever_recorded = false;  // Distinguishes re-recordings for stats.
   };
 
-  const Slot& slot(SnapshotId snap) const {
+  const Slot& slot(SnapshotId snap) const SQZ_REQUIRES(mu_) {
     return slots_[static_cast<size_t>(snap)];
   }
+  // Locked core shared by Invalidate and NoteTail's stale path.
+  void InvalidateLocked(SnapshotId snap) SQZ_REQUIRES(mu_);
 
-  SnapshotStoreConfig config_;
-  std::unordered_map<std::string, SnapshotId> by_key_;
-  std::vector<Slot> slots_;
-  SnapshotStats stats_;
+  const SnapshotStoreConfig config_;  // Set at construction, immutable after.
+  mutable Mutex mu_;
+  // Ordered key index — same rationale as DepCache::by_key_: key
+  // iteration is deterministic by construction, not by audit.
+  std::map<std::string, SnapshotId> by_key_ SQZ_GUARDED_BY(mu_);
+  std::vector<Slot> slots_ SQZ_GUARDED_BY(mu_);
+  SnapshotStats stats_ SQZ_GUARDED_BY(mu_);
 };
 
 }  // namespace squeezy

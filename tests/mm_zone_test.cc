@@ -271,9 +271,9 @@ INSTANTIATE_TEST_SUITE_P(
     Seeds, ZoneChurnPropertyTest,
     testing::Combine(testing::Values(1u, 2u, 3u, 4u, 5u, 6u),
                      testing::Values(uint8_t{0}, uint8_t{4}, kThpOrder, kMaxPageOrder)),
-    [](const testing::TestParamInfo<std::tuple<uint64_t, uint8_t>>& info) {
-      return "seed" + std::to_string(std::get<0>(info.param)) + "_maxorder" +
-             std::to_string(std::get<1>(info.param));
+    [](const testing::TestParamInfo<std::tuple<uint64_t, uint8_t>>& param_info) {
+      return "seed" + std::to_string(std::get<0>(param_info.param)) + "_maxorder" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(ZoneTypeTest, Names) {

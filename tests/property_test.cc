@@ -123,8 +123,8 @@ TEST_P(GuestFuzzTest, MixedOperationsKeepInvariants) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GuestFuzzTest, testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
-                         [](const testing::TestParamInfo<uint64_t>& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const testing::TestParamInfo<uint64_t>& param_info) {
+                           return "seed" + std::to_string(param_info.param);
                          });
 
 // --- Squeezy fuzz across partition geometries ---------------------------------
@@ -206,10 +206,10 @@ INSTANTIATE_TEST_SUITE_P(
     Geometries, SqueezyFuzzTest,
     testing::Combine(testing::Values(128u, 256u, 768u), testing::Values(2u, 4u, 8u),
                      testing::Values(1u, 2u)),
-    [](const testing::TestParamInfo<std::tuple<uint64_t, uint32_t, uint64_t>>& info) {
-      return "p" + std::to_string(std::get<0>(info.param)) + "mib_n" +
-             std::to_string(std::get<1>(info.param)) + "_s" +
-             std::to_string(std::get<2>(info.param));
+    [](const testing::TestParamInfo<std::tuple<uint64_t, uint32_t, uint64_t>>& param_info) {
+      return "p" + std::to_string(std::get<0>(param_info.param)) + "mib_n" +
+             std::to_string(std::get<1>(param_info.param)) + "_s" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 // --- Reclaim-latency monotonicity sweep ----------------------------------------
@@ -243,8 +243,8 @@ TEST_P(ReclaimScalingTest, SqueezyUnplugLinearInBlocks) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, ReclaimScalingTest,
                          testing::Values(128u, 256u, 512u, 1024u, 1536u, 2048u),
-                         [](const testing::TestParamInfo<uint64_t>& info) {
-                           return std::to_string(info.param) + "mib";
+                         [](const testing::TestParamInfo<uint64_t>& param_info) {
+                           return std::to_string(param_info.param) + "mib";
                          });
 
 // --- Timer-wheel fuzz: wheel vs the old binary heap, op for op -----------------
@@ -385,8 +385,8 @@ TEST_P(EventQueueWheelFuzzTest, WheelMatchesHeapReferenceExactly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueWheelFuzzTest,
                          testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u),
-                         [](const testing::TestParamInfo<uint64_t>& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const testing::TestParamInfo<uint64_t>& param_info) {
+                           return "seed" + std::to_string(param_info.param);
                          });
 
 // --- Cluster migration fuzz: drain/migrate/undrain sequences -------------------
@@ -520,10 +520,10 @@ INSTANTIATE_TEST_SUITE_P(
     DrainMigrate, ClusterMigrationFuzzTest,
     testing::Combine(testing::Values(ReclaimPolicy::kVirtioMem, ReclaimPolicy::kSqueezy),
                      testing::Values(1u, 2u, 3u, 4u)),
-    [](const testing::TestParamInfo<std::tuple<ReclaimPolicy, uint64_t>>& info) {
-      return std::string(ReclaimPolicyName(std::get<0>(info.param))) == "Squeezy"
-                 ? "squeezy_s" + std::to_string(std::get<1>(info.param))
-                 : "virtio_s" + std::to_string(std::get<1>(info.param));
+    [](const testing::TestParamInfo<std::tuple<ReclaimPolicy, uint64_t>>& param_info) {
+      return std::string(ReclaimPolicyName(std::get<0>(param_info.param))) == "Squeezy"
+                 ? "squeezy_s" + std::to_string(std::get<1>(param_info.param))
+                 : "virtio_s" + std::to_string(std::get<1>(param_info.param));
     });
 
 // --- Dep-cache fuzz: image residency invariants under drain/migrate churn -------
@@ -660,8 +660,8 @@ TEST_P(DepCacheFuzzTest, ResidencyRefcountsAndBooksConserved) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DepCacheFuzzTest, testing::Values(1u, 2u, 3u, 4u, 5u, 6u),
-                         [](const testing::TestParamInfo<uint64_t>& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const testing::TestParamInfo<uint64_t>& param_info) {
+                           return "seed" + std::to_string(param_info.param);
                          });
 
 // --- Snapshot fuzz: record/evict/restore churn with both registries on -----------
@@ -791,8 +791,8 @@ TEST_P(SnapshotFuzzTest, RestoreDiscountsUnwindUnderDrainMigrateChurn) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotFuzzTest, testing::Values(1u, 2u, 3u, 4u, 5u, 6u),
-                         [](const testing::TestParamInfo<uint64_t>& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const testing::TestParamInfo<uint64_t>& param_info) {
+                           return "seed" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -1,0 +1,17 @@
+// Lint fixture: raw addresses in output.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+struct Host {};
+
+void Print(Host* h) {
+  std::printf("host at %p\n", static_cast<void*>(h));  // BAD: %p format.
+}
+
+void Stream(Host* h) {
+  std::cout << static_cast<void*>(h) << "\n";  // BAD: streams an address.
+}
+
+}  // namespace fixture

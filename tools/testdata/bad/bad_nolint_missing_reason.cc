@@ -1,0 +1,10 @@
+// Lint fixture: NOLINT directive without the required justification.
+#include <cstdlib>
+
+namespace fixture {
+
+int Roll() {
+  return rand() % 6;  // NOLINT(determinism)
+}
+
+}  // namespace fixture

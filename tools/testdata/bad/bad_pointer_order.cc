@@ -1,0 +1,20 @@
+// Lint fixture: ordering/hashing on pointer values.
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace fixture {
+
+struct Host {};
+
+std::map<Host*, int> by_host;  // BAD: iterates in address order.
+
+size_t HashIt(Host* h) {
+  return std::hash<Host*>{}(h);  // BAD: hashes the address.
+}
+
+uint64_t AsInt(Host* h) {
+  return reinterpret_cast<uintptr_t>(h);  // BAD: address as integer.
+}
+
+}  // namespace fixture

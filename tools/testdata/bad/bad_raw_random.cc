@@ -1,0 +1,21 @@
+// Lint fixture: ambient / unseeded randomness.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int Roll() { return rand() % 6; }  // BAD: libc rand.
+
+void Reseed() { srand(42); }  // BAD: libc srand.
+
+int Entropy() {
+  std::random_device rd;  // BAD: nondeterministic source.
+  return static_cast<int>(rd());
+}
+
+int HiddenSeed() {
+  std::mt19937 gen;  // BAD: default-seeded engine (seed not plumbed).
+  return static_cast<int>(gen());
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Lint fixture: iteration over unordered containers (hash order leaks).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+std::unordered_map<std::string, int> counts_;
+std::unordered_set<int> live_ids;
+
+int SumAll() {
+  int sum = 0;
+  for (const auto& kv : counts_) {  // BAD: hash-order iteration.
+    sum += kv.second;
+  }
+  return sum;
+}
+
+int First() { return *live_ids.begin(); }  // BAD: begin() on unordered.
+
+}  // namespace fixture

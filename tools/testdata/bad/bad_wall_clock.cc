@@ -1,0 +1,20 @@
+// Lint fixture: ambient clock reads.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long NowNs() {
+  const auto t = std::chrono::steady_clock::now();  // BAD: wall clock.
+  return t.time_since_epoch().count();
+}
+
+long Epoch() { return time(nullptr); }  // BAD: wall clock.
+
+long Fine() {
+  struct timespec ts;
+  clock_gettime(0, &ts);  // BAD: wall clock.
+  return ts.tv_nsec;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Lint fixture: unordered member declared here, iterated in split_iter.cc
+// (exercises the cross-file name pass).
+#ifndef FIXTURE_SPLIT_DECL_H_
+#define FIXTURE_SPLIT_DECL_H_
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+class Registry {
+ public:
+  int Total() const;
+
+ private:
+  std::unordered_map<std::string, int> by_key_;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_SPLIT_DECL_H_

@@ -1,0 +1,14 @@
+// Lint fixture: iterates the unordered member declared in split_decl.h.
+#include "split_decl.h"
+
+namespace fixture {
+
+int Registry::Total() const {
+  int sum = 0;
+  for (const auto& kv : by_key_) {  // BAD: hash-order iteration.
+    sum += kv.second;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Lint fixture: wall-clock use carried by the checked-in allowlist
+// (tools/testdata/allowlist_good.txt), mirroring bench_util.h WallTimer.
+#include <chrono>
+
+namespace fixture {
+
+double WallSeconds() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// Lint fixture: deterministic idioms that must NOT fire any rule.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Ordered map: iteration order is the key order — fine.
+std::map<std::string, int> ordered_counts;
+
+// Declaring an unordered map is fine; only ITERATING it is the hazard.
+std::unordered_map<std::string, int> lookup_only;
+
+int SumOrdered() {
+  int sum = 0;
+  for (const auto& kv : ordered_counts) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+// Point lookups into the unordered map are order-free — fine.
+int Lookup(const std::string& key) {
+  const auto it = lookup_only.find(key);
+  return it == lookup_only.end() ? 0 : it->second;
+}
+
+// Seeded engine: the stream is a function of the experiment seed — fine.
+uint32_t Draw(uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  return static_cast<uint32_t>(gen());
+}
+
+// Sorting by value (not address) before output — fine.
+std::vector<int> Sorted(std::vector<int> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Lint fixture: a justified inline suppression is honored.
+#include <cstdlib>
+
+namespace fixture {
+
+int Roll() {
+  return rand() % 6;  // NOLINT(determinism): fixture demonstrating a justified escape
+}
+
+}  // namespace fixture

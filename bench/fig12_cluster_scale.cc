@@ -191,6 +191,12 @@ struct DrainResult {
   uint64_t snap_restores = 0;        // Cold starts served from a snapshot.
   uint64_t snap_prefetch_bytes = 0;  // Bytes bulk-prefetched across them.
   double snap_tail_rate_pct = 0;     // Post-restore demand-fault tail.
+  // Snapshot-hit migration transfers (shared_snapshots runs only): the
+  // recorded portion of migrated state never crosses the wire — the
+  // destination bulk-restores it from the cluster store on arrival.
+  uint64_t snap_mig_wire_saved = 0;  // Recorded bytes that skipped the wire.
+  uint64_t snap_mig_restores = 0;    // Adopted instances bulk-restored.
+  uint64_t mig_wire_bytes = 0;       // Total migration wire bytes this run.
 };
 
 DrainResult RunDrain(ReclaimPolicy reclaim, MigrationMode mode, uint64_t host_capacity,
@@ -258,6 +264,11 @@ DrainResult RunDrain(ReclaimPolicy reclaim, MigrationMode mode, uint64_t host_ca
     r.snap_restores = s.restores;
     r.snap_prefetch_bytes = s.prefetch_bytes;
     r.snap_tail_rate_pct = s.tail_fault_rate_pct();
+    r.snap_mig_wire_saved = s.migration_wire_saved_bytes;
+    r.snap_mig_restores = s.migration_restores;
+  }
+  for (const MigrationRecord& m : cluster.migrations()) {
+    r.mig_wire_bytes += m.bytes_sent;
   }
   return r;
 }
@@ -371,12 +382,15 @@ int main() {
                "reap vs migrate vs migrate+dep-cache vs migrate+snapshots:\n";
   TablePrinter drain_table({"Reclaim", "Mode", "Host", "RoutedBefore", "RoutedAfter",
                             "ReclaimSec", "ColdAfter", "Migrated", "Reaped",
-                            "WireSavedMiB", "ColdIOSavedMiB", "Restores",
-                            "PrefetchMiB"});
+                            "WireSavedMiB", "SnapWireSavedMiB", "ColdIOSavedMiB",
+                            "Restores", "PrefetchMiB"});
   bool drain_pass = true;
   bool dep_pass = true;
   bool snap_pass = true;
+  bool snap_wire_pass = true;
   double snap_tail_rate_pct = 0;
+  uint64_t wire_dep_only = 0;   // Migration wire bytes, dep cache alone.
+  uint64_t wire_with_snap = 0;  // Migration wire bytes, dep cache + snapshots.
   const double mib = static_cast<double>(MiB(1));
   for (const ReclaimPolicy rp : {ReclaimPolicy::kVirtioMem, ReclaimPolicy::kSqueezy}) {
     uint64_t cold_reap = 0;
@@ -413,6 +427,8 @@ int main() {
                           TablePrinter::Int(static_cast<int64_t>(d.migrated)),
                           TablePrinter::Int(static_cast<int64_t>(d.reaped)),
                           TablePrinter::Num(static_cast<double>(d.wire_bytes_saved) / mib, 0),
+                          TablePrinter::Num(
+                              static_cast<double>(d.snap_mig_wire_saved) / mib, 0),
                           TablePrinter::Num(static_cast<double>(d.cold_io_avoided) / mib, 0),
                           TablePrinter::Int(static_cast<int64_t>(d.snap_restores)),
                           TablePrinter::Num(static_cast<double>(d.snap_prefetch_bytes) / mib,
@@ -435,8 +451,16 @@ int main() {
         json.Metric("snapshot_restores", d.snap_restores);
         json.Metric("snapshot_prefetch_bytes", d.snap_prefetch_bytes);
         json.Metric("snapshot_tail_fault_rate_pct", d.snap_tail_rate_pct);
+        // Snapshot-hit migration transfer: the recorded portion of the
+        // drained host's warm state never crossed the wire — destinations
+        // bulk-restored it from the cluster store on arrival.
+        json.Metric("snapshot_migration_wire_saved_bytes", d.snap_mig_wire_saved);
+        json.Metric("snapshot_migration_restores", d.snap_mig_restores);
+        json.Metric("migration_wire_bytes_" + tag, d.mig_wire_bytes);
         snap_tail_rate_pct = d.snap_tail_rate_pct;
-        snap_pass = d.snap_restores > 0 && d.snap_prefetch_bytes > 0;
+        wire_with_snap = d.mig_wire_bytes;
+        snap_pass = d.snap_restores > 0 && d.snap_prefetch_bytes > 0 &&
+                    d.snap_mig_wire_saved > 0 && d.snap_mig_restores > 0;
       } else if (run.dep_cache) {
         // The dep-cache headline: bytes that never crossed the wire and
         // dependency bytes served without cold IO, plus the hit rate of
@@ -449,6 +473,8 @@ int main() {
                     dep_reads > 0 ? 100.0 * static_cast<double>(d.cold_io_avoided) /
                                         static_cast<double>(dep_reads)
                                   : 0.0);
+        json.Metric("migration_wire_bytes_" + tag, d.mig_wire_bytes);
+        wire_dep_only = d.mig_wire_bytes;
         dep_pass = d.wire_bytes_saved > 0 && d.cold_io_avoided > 0;
       } else if (run.mode == MigrationMode::kReapOnDrain) {
         cold_reap = d.cold_after;
@@ -462,6 +488,10 @@ int main() {
     drain_table.AddRule();
   }
   drain_table.Print(std::cout);
+  // The snapshot-hit transfer headline: with the registry on, migrations
+  // off the drained host ship only the delta beyond the recording, so the
+  // +Snap run puts strictly fewer bytes on the wire than dep-cache-only.
+  snap_wire_pass = wire_with_snap < wire_dep_only;
   std::cout << "Check: migrate-on-drain pays fewer post-drain cold starts than "
                "reap-on-drain -> "
             << (drain_pass ? "PASS" : "FAIL") << "\n"
@@ -469,10 +499,18 @@ int main() {
             << (dep_pass ? "PASS" : "FAIL") << "\n"
             << "Check: snapshot registry serves post-drain cold starts by restore -> "
             << (snap_pass ? "PASS" : "FAIL") << " (tail fault rate "
-            << TablePrinter::Num(snap_tail_rate_pct) << "%)\n";
+            << TablePrinter::Num(snap_tail_rate_pct) << "%)\n"
+            << "Check: snapshot-hit migration ships fewer wire bytes than "
+               "dep-cache-only -> "
+            << (snap_wire_pass ? "PASS" : "FAIL") << " ("
+            << TablePrinter::Num(static_cast<double>(wire_with_snap) / mib, 0)
+            << " MiB vs "
+            << TablePrinter::Num(static_cast<double>(wire_dep_only) / mib, 0)
+            << " MiB)\n";
   json.Text("drain_migrate_check", drain_pass ? "PASS" : "FAIL");
   json.Text("dep_cache_check", dep_pass ? "PASS" : "FAIL");
   json.Text("snapshot_restore_check", snap_pass ? "PASS" : "FAIL");
+  json.Text("snapshot_migration_wire_check", snap_wire_pass ? "PASS" : "FAIL");
 
   // Which reclaim drivers exploit working-set-sized commitment after a
   // snapshot restore (RestoredCommitment < plug unit)?  Squeezy can: its
@@ -594,7 +632,7 @@ int main() {
   const std::string json_path = json.Write();
   std::cout << "CSV: bench_results/fig12_cluster_scale.csv\nJSON: " << json_path << "\n";
   return binpack_pass && hinted_pass && drain_pass && dep_pass && snap_pass &&
-                 queue_identical
+                 snap_wire_pass && queue_identical
              ? 0
              : 1;
 }

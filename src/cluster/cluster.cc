@@ -1,5 +1,6 @@
 #include "src/cluster/cluster.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace squeezy {
@@ -63,8 +64,17 @@ int Cluster::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency) {
 }
 
 void Cluster::DrainHost(size_t h) {
-  if (config_.migration == MigrationMode::kMigrateOnDrain && !hosts_[h]->draining()) {
-    MutexLock lock(&mu_);
+  // One lock scope for the whole drain decision: the old code read
+  // draining() and called Drain() outside mu_, so two racing DrainHost
+  // calls could both see !draining() and run the migration sweep twice.
+  // Holding mu_ end-to-end makes the drain idempotent — check, migrate,
+  // drain are one atomic step (lock order Cluster::mu_ → host runtime,
+  // per src/base/mutex.h).
+  MutexLock lock(&mu_);
+  if (hosts_[h]->draining()) {
+    return;  // Already draining: nothing to migrate, nothing to re-drain.
+  }
+  if (config_.migration == MigrationMode::kMigrateOnDrain) {
     MigrateOff(h);
   }
   hosts_[h]->Drain();
@@ -89,6 +99,11 @@ size_t Cluster::MigrateOff(size_t src) {
     int src_idx = -1;
     for (size_t i = 0; i < reps.size(); ++i) {
       if (reps[i].host == src) {
+        // Placement gives a function at most one replica per host
+        // (PlaceFunction draws distinct hosts), so the first match IS the
+        // source replica.  The old scan silently kept the LAST match —
+        // correct only by that same uniqueness, and unchecked.
+        assert(src_idx < 0 && "one replica per host per function");
         src_idx = static_cast<int>(i);
       }
     }
@@ -116,6 +131,17 @@ size_t Cluster::MigrateOff(size_t src) {
     // image and migrates at full price).
     const bool dep_active = dep_cache_ != nullptr &&
                             fn_dep_image_[fn] != kNoDepImage && state.deps_bytes > 0;
+    // Snapshot freshness gate: the recording reproduces recorded_bytes of
+    // the captured state; once the un-recorded tail outgrows the store's
+    // staleness threshold (the same stale_tail_fraction that governs
+    // re-recording) the recording is a poor proxy for the live state and
+    // the move falls back to a full transfer.
+    const uint64_t snap_tail = state.state_bytes - state.recorded_bytes;
+    const bool snap_fresh =
+        snapshot_store_ != nullptr && state.recorded_bytes > 0 &&
+        static_cast<double>(snap_tail) <=
+            snapshot_store_->config().stale_tail_fraction *
+                static_cast<double>(state.recorded_bytes);
     size_t adopted = 0;
     for (const size_t dst_idx : ranked) {
       const Replica& dst = reps[dst_idx];
@@ -128,17 +154,47 @@ size_t Cluster::MigrateOff(size_t src) {
       // so only the anonymous state crosses the wire — priced as a fixed
       // attach cost instead of shipping up to hundreds of MiB of deps.
       const bool dep_hit = dep_active && dep_cache_->Populated(dst.host, fn_dep_image_[fn]);
-      ReplicaMigrationState subset = state;
-      subset.warm_instances = planned;
-      subset.state_bytes = state.state_bytes * planned / state.warm_instances;
-      if (dep_hit) {
-        subset.deps_bytes = 0;
-      }
-      const StateTransferCost cost = planner_->TransferCost(subset, dep_hit);
+      // Snapshot hit: the destination can re-create the recorded portion
+      // of the anonymous state from the cluster store, so only the dirty
+      // delta beyond the recording crosses the wire — priced as a fixed
+      // restore setup plus a bulk prefetch at snapshot speed.
+      const bool snap_hit =
+          snap_fresh && hosts_[dst.host]->Snapshot(dst.local_fn).snapshot_restorable;
+      // Sizes the transfer for `n` of the captured instances, applying
+      // the dep/snapshot discounts the chosen destination earns.
+      const auto sized = [&](size_t n) {
+        ReplicaMigrationState s = state;
+        s.warm_instances = n;
+        s.state_bytes = state.state_bytes * n / state.warm_instances;
+        s.recorded_bytes = 0;
+        if (dep_hit) {
+          s.deps_bytes = 0;
+        }
+        if (snap_hit) {
+          s.recorded_bytes = std::min(state.recorded_bytes * n / state.warm_instances,
+                                      s.state_bytes);
+          s.state_bytes -= s.recorded_bytes;  // Only the delta ships.
+        }
+        return s;
+      };
+      ReplicaMigrationState subset = sized(planned);
+      StateTransferCost cost = planner_->TransferCost(subset, dep_hit, snap_hit);
       const TimeNs done_at = events_.now() + cost.total();
       adopted = hosts_[dst.host]->AdoptReplica(dst.local_fn, subset, done_at);
       if (adopted == 0) {
         continue;
+      }
+      // AdoptableReplicas CONTRACT (host_control.h): same books, no
+      // intervening event — the adoption admits exactly what the query
+      // quoted, so the priced transfer IS the shipped transfer.
+      assert(adopted == planned && "AdoptReplica diverged from its AdoptableReplicas quote");
+      if (adopted != planned) {
+        // Never expected (asserted above); keep the release-build record
+        // honest anyway by re-pricing the wire for what actually moved.
+        // available_at stays at the quoted done_at — conservative: the
+        // instances turn warm no earlier than promised.
+        subset = sized(adopted);
+        cost = planner_->TransferCost(subset, dep_hit, snap_hit);
       }
       if (dep_hit) {
         dep_cache_->RecordWireHit(state.deps_bytes);
@@ -153,6 +209,11 @@ size_t Cluster::MigrateOff(size_t src) {
         events_.ScheduleAt(done_at, [this, dst_host, dst_fn] {
           hosts_[dst_host]->MaterializeImage(dst_fn);
         });
+      }
+      if (snap_hit) {
+        // The recorded portion skipped the wire; the adopted instances
+        // bulk-restore it from the store on arrival (AdoptReplica path).
+        snapshot_store_->RecordMigrationHit(subset.recorded_bytes, adopted);
       }
       MigrationRecord rec;
       rec.cluster_fn = static_cast<int>(fn);

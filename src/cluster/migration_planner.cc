@@ -21,6 +21,7 @@ std::vector<size_t> MigrationPlanner::RankDestinations(
     size_t idx;
     bool fits_all;
     bool dep_populated;
+    bool snap_restorable;
     uint64_t committed;
   };
   std::vector<Candidate> cands;
@@ -33,22 +34,28 @@ std::vector<size_t> MigrationPlanner::RankDestinations(
     if (s.draining || s.available < unit_bytes) {
       continue;  // Cannot take even one instance's commitment.
     }
-    cands.push_back(
-        Candidate{i, s.available >= wanted * unit_bytes, s.dep_image_populated, s.committed});
+    cands.push_back(Candidate{i, s.available >= wanted * unit_bytes, s.dep_image_populated,
+                              s.snapshot_restorable, s.committed});
   }
   // Bin-pack flavor, same as placement: pack the incoming state onto the
   // most committed host that still fits the whole move, partial fits
   // after, keeping the fleet tail free for spikes.  Within each class,
   // destinations holding the dependency image warm come first (the move
-  // skips deps_bytes on the wire there; always false without a dep
-  // cache, so the pre-cache ordering is preserved bit-identically).
-  // stable_sort keeps exact ties at the lowest host index (deterministic).
+  // skips deps_bytes on the wire there), then destinations able to
+  // restore the function's snapshot recording (only the delta beyond the
+  // recording crosses the wire there) — both dimensions are always false
+  // without the respective registry, so the pre-cache/pre-snapshot
+  // orderings are preserved bit-identically.  stable_sort keeps exact
+  // ties at the lowest host index (deterministic).
   std::stable_sort(cands.begin(), cands.end(), [](const Candidate& a, const Candidate& b) {
     if (a.fits_all != b.fits_all) {
       return a.fits_all;
     }
     if (a.dep_populated != b.dep_populated) {
       return a.dep_populated;
+    }
+    if (a.snap_restorable != b.snap_restorable) {
+      return a.snap_restorable;
     }
     return a.committed > b.committed;
   });
@@ -62,13 +69,17 @@ std::vector<size_t> MigrationPlanner::RankDestinations(
 
 int MigrationPlanner::MostPressuredHost(size_t min_pending) const {
   int victim = -1;
-  size_t worst = min_pending > 0 ? min_pending - 1 : 0;
+  size_t worst = 0;
   for (size_t h = 0; h < hosts_.size(); ++h) {
     const HostSnapshot s = hosts_[h]->Snapshot();
-    if (s.draining) {
+    // A host qualifies when it is not draining and meets the threshold —
+    // with min_pending == 0 that is every non-draining host (the old
+    // `worst = min_pending - 1` seed silently turned 0 into 1 and could
+    // return -1 from an all-idle fleet that should have yielded host 0).
+    if (s.draining || s.pending_scaleups < min_pending) {
       continue;
     }
-    if (s.pending_scaleups > worst) {
+    if (victim < 0 || s.pending_scaleups > worst) {
       worst = s.pending_scaleups;
       victim = static_cast<int>(h);
     }
@@ -77,12 +88,20 @@ int MigrationPlanner::MostPressuredHost(size_t min_pending) const {
 }
 
 StateTransferCost MigrationPlanner::TransferCost(const ReplicaMigrationState& state,
-                                                 bool dep_cache_hit) const {
+                                                 bool dep_cache_hit,
+                                                 bool snapshot_hit) const {
   StateTransferCost c = cost_.StateTransfer(state.transfer_bytes(),
                                             cost_.migrate_dirty_frac * state.busy_fraction);
   if (dep_cache_hit) {
     // Attach the destination-resident image instead of shipping it.
     c.precopy += cost_.dep_cache_hit_fixed;
+  }
+  if (snapshot_hit) {
+    // The caller moved the recorded portion out of state_bytes: the wire
+    // carries only the delta, and the destination re-creates the recorded
+    // bytes from the cluster snapshot store (fixed restore setup plus a
+    // bulk prefetch at snapshot speed, overlapping the pre-copy phase).
+    c.precopy += cost_.SnapshotAttach(state.recorded_bytes);
   }
   return c;
 }

@@ -55,8 +55,11 @@ class MigrationPlanner {
   // the source with headroom for at least one unit; hosts that fit the
   // whole move before partial fits, then hosts holding the function's
   // dependency image warm (HostSnapshot::dep_image_populated — the move
-  // skips deps_bytes on the wire there), most committed first within
-  // each class, ties to the lowest host index.  The caller walks the
+  // skips deps_bytes on the wire there), then hosts able to restore the
+  // function's snapshot recording (HostSnapshot::snapshot_restorable —
+  // only the delta beyond the recording crosses the wire), most
+  // committed first within each class, ties to the lowest host index.
+  // The caller walks the
   // ranking and settles on the first host that actually adopts (a
   // well-placed candidate can still be concurrency-saturated —
   // AdoptableReplicas decides, not the snapshot).  With a snapshot
@@ -69,10 +72,12 @@ class MigrationPlanner {
       SQZ_EXCLUDES(mu_);
 
   // The non-draining host with the most memory-starved scale-ups right
-  // now (at least `min_pending`); -1 when no host qualifies.  The victim
-  // of pressure-triggered migration: moving its warm-but-idle replicas
-  // elsewhere frees commitment for the scale-ups it is starving on,
-  // without throwing the warm state away.
+  // now (at least `min_pending` of them; min_pending == 0 admits any
+  // non-draining host, most pending first); -1 when no host qualifies.
+  // Ties go to the lowest host index.  The victim of pressure-triggered
+  // migration: moving its warm-but-idle replicas elsewhere frees
+  // commitment for the scale-ups it is starving on, without throwing the
+  // warm state away.
   int MostPressuredHost(size_t min_pending) const;
 
   // Prices one state transfer: pre-copy + stop-and-copy over the touched
@@ -81,8 +86,15 @@ class MigrationPlanner {
   // zeroed state.deps_bytes; the transfer additionally pays the fixed
   // image-attach cost (CostModel::dep_cache_hit_fixed) — strictly
   // cheaper than shipping the image whenever deps_bytes outweighs it.
+  // On a snapshot hit the caller has already moved the recorded portion
+  // out of state.state_bytes (only the delta pre-copies); the transfer
+  // additionally pays CostModel::SnapshotAttach(state.recorded_bytes) —
+  // the destination re-creating those bytes from the cluster store at
+  // snapshot-prefetch speed, strictly cheaper than the wire whenever the
+  // recording outweighs the fixed restore setup.
   StateTransferCost TransferCost(const ReplicaMigrationState& state,
-                                 bool dep_cache_hit = false) const;
+                                 bool dep_cache_hit = false,
+                                 bool snapshot_hit = false) const;
 
   uint64_t plans_considered() const SQZ_EXCLUDES(mu_) {
     MutexLock lock(&mu_);

@@ -365,43 +365,67 @@ Agent::WarmCapture Agent::CaptureAndEvictIdle() {
     ++cap.instances;
     // A fully-warmed instance's transferable state is its whole working
     // set; one still in its first lifetime has only touched the init part.
-    cap.anon_bytes +=
-        inst->first_exec_done ? spec_.anon_working_set : inst->anon_touched;
+    if (inst->first_exec_done) {
+      ++cap.fully_warm;
+      cap.anon_bytes += spec_.anon_working_set;
+    } else {
+      cap.anon_bytes += inst->anon_touched;
+    }
   }
   while (EvictOldestIdle()) {
   }
   return cap;
 }
 
-void Agent::AdoptWarmInstance(uint64_t anon_bytes, TimeNs available_at) {
+void Agent::AdoptWarmInstance(uint64_t anon_bytes, uint64_t recorded_bytes,
+                              TimeNs available_at) {
   const int32_t id = static_cast<int32_t>(instances_.size());
   instances_.push_back(std::make_unique<Instance>());
   instance(id).id = id;
   instance(id).state = InstanceState::kWaitingMemory;
   ++spawns_;
   instance_series_.Push(events_->now(), static_cast<double>(live_instances()));
-  callbacks_.acquire_memory([this, id, anon_bytes, available_at](DurationNs vmm_latency) {
-    Instance& inst = instance(id);
-    assert(inst.state == InstanceState::kWaitingMemory);
-    inst.cold.vmm = vmm_latency;
-    inst.state = InstanceState::kColdStart;  // Transient: restoring state.
-    inst.pid = guest_->CreateProcess();
-    guest_->process(inst.pid).MapFile(deps_file_);
-    if (config_.use_squeezy) {
-      sqz_->SqueezyEnableAsync(
-          inst.pid,
-          [this, id, anon_bytes, available_at](int32_t) {
-            RestoreWarmState(id, anon_bytes, available_at);
-          });
-    } else {
-      RestoreWarmState(id, anon_bytes, available_at);
-    }
-  });
+  callbacks_.acquire_memory(
+      [this, id, anon_bytes, recorded_bytes, available_at](DurationNs vmm_latency) {
+        Instance& inst = instance(id);
+        assert(inst.state == InstanceState::kWaitingMemory);
+        inst.cold.vmm = vmm_latency;
+        inst.state = InstanceState::kColdStart;  // Transient: restoring state.
+        inst.pid = guest_->CreateProcess();
+        guest_->process(inst.pid).MapFile(deps_file_);
+        if (config_.use_squeezy) {
+          sqz_->SqueezyEnableAsync(
+              inst.pid,
+              [this, id, anon_bytes, recorded_bytes, available_at](int32_t) {
+                RestoreWarmState(id, anon_bytes, recorded_bytes, available_at);
+              });
+        } else {
+          RestoreWarmState(id, anon_bytes, recorded_bytes, available_at);
+        }
+      });
 }
 
 void Agent::RestoreWarmState(int32_t instance_id, uint64_t anon_bytes,
-                             TimeNs available_at) {
+                             uint64_t recorded_bytes, TimeNs available_at) {
   Instance& inst = instance(instance_id);
+  // Snapshot-hit arrival: the recorded portion never crossed the wire —
+  // bulk-restore it from the cluster snapshot store (one nested populate,
+  // no per-page demand faults).  Zero outside the snapshot path, keeping
+  // the plain migration landing bit-identical.
+  uint64_t restored_bytes = 0;
+  DurationNs restore_latency = 0;
+  if (recorded_bytes > 0) {
+    const RestoreOutcome rest = guest_->RestoreWorkingSet(
+        inst.pid, deps_file_, /*file_pages=*/0, recorded_bytes, events_->now());
+    if (rest.oom) {
+      inst.state = InstanceState::kEvicted;
+      instance_series_.Push(events_->now(), static_cast<double>(live_instances()));
+      callbacks_.release_memory();
+      return;
+    }
+    restored_bytes = rest.anon_bytes;
+    restore_latency = rest.nested;
+  }
   // Fault the transferred anonymous state back in; dependency pages come
   // through the shared guest page cache as for any instance.
   const TouchResult anon = guest_->TouchAnon(inst.pid, anon_bytes, events_->now());
@@ -411,9 +435,10 @@ void Agent::RestoreWarmState(int32_t instance_id, uint64_t anon_bytes,
     callbacks_.release_memory();
     return;
   }
-  inst.anon_touched = anon.bytes;
+  inst.anon_touched = restored_bytes + anon.bytes;
   inst.first_exec_done = true;  // Warm: the next request is NOT a cold start.
-  const TimeNs ready = std::max(events_->now() + anon.latency, available_at);
+  const TimeNs ready =
+      std::max(events_->now() + restore_latency + anon.latency, available_at);
   events_->ScheduleAt(ready, [this, instance_id] { BecomeIdle(instance_id); });
 }
 

@@ -111,9 +111,13 @@ class Agent {
   // --- Live migration (replica state capture / restore) ---------------------------
   // Warm state of every idle instance: how many there are and the
   // anonymous bytes they had touched (fully-warmed instances count their
-  // whole working set).
+  // whole working set).  fully_warm counts the instances past their first
+  // execution — the ones whose state a cluster snapshot recording covers,
+  // which is what the snapshot-hit migration path sizes its recorded
+  // portion from.
   struct WarmCapture {
     size_t instances = 0;
+    size_t fully_warm = 0;
     uint64_t anon_bytes = 0;
   };
   // Captures the warm state and evicts those instances in one step
@@ -126,7 +130,16 @@ class Agent {
   // transferred state are faulted back in, and the instance goes idle
   // with its first execution already done — no cold-start phases — no
   // earlier than `available_at` (the state-transfer completion instant).
-  void AdoptWarmInstance(uint64_t anon_bytes, TimeNs available_at);
+  // On a snapshot-hit transfer `recorded_bytes` of the state did NOT
+  // cross the wire: they are bulk-restored from the cluster snapshot
+  // store (GuestKernel::RestoreWorkingSet — one nested populate) while
+  // `anon_bytes` holds only the shipped delta; 0 keeps the pre-snapshot
+  // demand-fault path bit-identical.
+  void AdoptWarmInstance(uint64_t anon_bytes, uint64_t recorded_bytes,
+                         TimeNs available_at);
+  void AdoptWarmInstance(uint64_t anon_bytes, TimeNs available_at) {
+    AdoptWarmInstance(anon_bytes, 0, available_at);
+  }
 
   // Idle-since time of the longest-idle instance, or -1 if none is idle.
   TimeNs OldestIdleSince() const;
@@ -199,7 +212,8 @@ class Agent {
   void StartExec(int32_t instance_id, TimeNs arrival);
   void ScheduleKeepAlive(int32_t instance_id);
   void Evict(int32_t instance_id);
-  void RestoreWarmState(int32_t instance_id, uint64_t anon_bytes, TimeNs available_at);
+  void RestoreWarmState(int32_t instance_id, uint64_t anon_bytes,
+                        uint64_t recorded_bytes, TimeNs available_at);
 
   Instance& instance(int32_t id) { return *instances_[static_cast<size_t>(id)]; }
 

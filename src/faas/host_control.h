@@ -30,6 +30,13 @@ struct ReplicaMigrationState {
   size_t warm_instances = 0;
   uint64_t state_bytes = 0;
   uint64_t deps_bytes = 0;
+  // Anonymous bytes reproducible from the cluster snapshot recording
+  // (<= state_bytes at capture; 0 without an attached registry or a valid
+  // recording).  On a snapshot-hit transfer the cluster moves this
+  // portion OUT of state_bytes — only the delta beyond the recording
+  // crosses the wire, and the destination bulk-restores recorded_bytes
+  // from the store on arrival (GuestKernel::RestoreWorkingSet).
+  uint64_t recorded_bytes = 0;
   double busy_fraction = 0;
 
   uint64_t transfer_bytes() const { return state_bytes + deps_bytes; }
@@ -52,6 +59,12 @@ struct HostSnapshot {
   // the wire).  Only meaningful with a local function index and an
   // attached DepImageRegistry; false otherwise.
   bool dep_image_populated = false;
+  // Whether the queried function has a valid cluster snapshot recording
+  // this host can restore from (attached registry + restore-capable
+  // driver + recorded) — a migration here ships only the delta beyond
+  // the recording.  Only meaningful with a local function index; false
+  // otherwise.
+  bool snapshot_restorable = false;
 };
 
 class HostControl {
@@ -85,7 +98,10 @@ class HostControl {
   // admit right now (concurrency headroom + memory, mirroring the
   // AdoptReplica loop).  A pure query: the planner sizes and prices the
   // transfer against the instances that will actually move, and skips
-  // hosts that would adopt nothing.
+  // hosts that would adopt nothing.  CONTRACT: an AdoptReplica call
+  // immediately after (same books, no intervening event) admits exactly
+  // this many — the transfer priced on the query is the transfer that
+  // ships (locked by cluster_migration_test.cc).
   virtual size_t AdoptableReplicas(int local_fn, size_t wanted) const = 0;
   // Destination half: re-creates up to `state.warm_instances` warm
   // instances of `local_fn`, each admitted through the host's normal

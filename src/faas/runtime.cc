@@ -610,6 +610,12 @@ HostSnapshot FaasRuntime::Snapshot(int local_fn) const {
     const DepImageId img = vms_[static_cast<size_t>(local_fn)]->dep_image;
     s.dep_image_populated = img != kNoDepImage && dep_registry_->Populated(host_id_, img);
   }
+  if (local_fn >= 0 && snap_registry_ != nullptr) {
+    // b.snapshot is only interned when the reclaim driver supports
+    // restores, so a valid id already implies restore capability here.
+    const SnapshotId snap = vms_[static_cast<size_t>(local_fn)]->snapshot;
+    s.snapshot_restorable = snap != kNoSnapshot && snap_registry_->Recorded(snap);
+  }
   return s;
 }
 
@@ -646,6 +652,18 @@ ReplicaMigrationState FaasRuntime::EvictReplica(int local_fn) {
   // The shared dependency image crosses the wire once per replica, and
   // only when there is warm state worth moving at all.
   s.deps_bytes = cap.instances > 0 ? b.spec.file_deps_bytes : 0;
+  // Recorded-vs-delta split: the cluster snapshot recording reproduces
+  // the stable prefix of every FULLY-warm instance's working set (an
+  // instance mid-first-lifetime has no recording-shaped state yet), so a
+  // snapshot-hit transfer needs to ship only what lies beyond it.  Zero
+  // without an attached registry / restore-capable driver / valid
+  // recording — the capture is bit-identical to the pre-snapshot path.
+  if (snap_registry_ != nullptr && b.snapshot != kNoSnapshot && cap.fully_warm > 0) {
+    const uint64_t per_instance = std::min(
+        snap_registry_->RecordedHeapBytes(b.snapshot), b.spec.anon_working_set);
+    s.recorded_bytes =
+        std::min(per_instance * static_cast<uint64_t>(cap.fully_warm), s.state_bytes);
+  }
   return s;
 }
 
@@ -697,6 +715,10 @@ size_t FaasRuntime::AdoptReplica(int local_fn, const ReplicaMigrationState& stat
   }
   VmBundle& b = vm(local_fn);
   const uint64_t per_instance = state.state_bytes / state.warm_instances;
+  // Snapshot-hit transfer: state_bytes holds only the shipped delta;
+  // each instance additionally bulk-restores its share of the recorded
+  // portion from the cluster store on arrival.  0 on a full transfer.
+  const uint64_t per_recorded = state.recorded_bytes / state.warm_instances;
   size_t adopted = 0;
   // Each adoption is admission-checked like a fresh scale-up (the
   // warm-reuse shortcut does not apply: an adopted instance always needs
@@ -705,7 +727,7 @@ size_t FaasRuntime::AdoptReplica(int local_fn, const ReplicaMigrationState& stat
   // accurate as instances land.
   while (adopted < state.warm_instances &&
          b.agent->live_instances() < b.max_concurrency && HasMemoryForFresh(local_fn)) {
-    b.agent->AdoptWarmInstance(per_instance, available_at);
+    b.agent->AdoptWarmInstance(per_instance, per_recorded, available_at);
     ++adopted;
   }
   adopted_instances_ += adopted;

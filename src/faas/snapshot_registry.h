@@ -44,6 +44,12 @@ class SnapshotRegistry {
   // after an Invalidate, until re-recorded).
   virtual bool Recorded(SnapshotId snap) const = 0;
   virtual SnapshotImage Image(SnapshotId snap) const = 0;
+  // Recorded anonymous working-set bytes of `snap`, or 0 when no valid
+  // recording exists (safe on unrecorded slots, unlike Image()).  This is
+  // the migration-sizing query: the portion of a migrating replica's warm
+  // state a destination can restore from the recording instead of
+  // receiving over the wire (ReplicaMigrationState::recorded_bytes).
+  virtual uint64_t RecordedHeapBytes(SnapshotId snap) const = 0;
 
   // Records the working set observed at first fully-warm idle.  A no-op
   // while a valid recording exists (record-once); after an Invalidate the

@@ -157,6 +157,14 @@ struct CostModel {
   DurationNs SnapshotPrefetchBytes(uint64_t bytes) const {
     return static_cast<DurationNs>(bytes) * snapshot_prefetch_byte_x1000 / 1000;
   }
+  // Snapshot-hit on migration: the destination re-creates the recorded
+  // portion of the replica's anonymous state from the cluster snapshot
+  // store instead of receiving it over the wire — fixed restore setup
+  // plus the recorded bytes read out at snapshot-prefetch speed (the
+  // wire then carries only the delta beyond the recording).
+  DurationNs SnapshotAttach(uint64_t recorded_bytes) const {
+    return snapshot_restore_fixed + SnapshotPrefetchBytes(recorded_bytes);
+  }
   // One pre-copy state transfer of `state_bytes` of touched replica state.
   // `dirty_frac` is the per-round redirty fraction for THIS transfer
   // (typically migrate_dirty_frac scaled by the replica's busy fraction);

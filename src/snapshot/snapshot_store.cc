@@ -28,6 +28,19 @@ SnapshotImage SnapshotStore::Image(SnapshotId snap) const {
   return slot(snap).image;
 }
 
+uint64_t SnapshotStore::RecordedHeapBytes(SnapshotId snap) const {
+  MutexLock lock(&mu_);
+  const Slot& s = slot(snap);
+  return s.recorded ? s.image.heap_bytes : 0;
+}
+
+void SnapshotStore::RecordMigrationHit(uint64_t wire_saved_bytes, uint64_t restores) {
+  MutexLock lock(&mu_);
+  ++stats_.migration_hits;
+  stats_.migration_restores += restores;
+  stats_.migration_wire_saved_bytes += wire_saved_bytes;
+}
+
 bool SnapshotStore::Record(SnapshotId snap, const SnapshotImage& image) {
   MutexLock lock(&mu_);
   Slot& s = slots_[static_cast<size_t>(snap)];

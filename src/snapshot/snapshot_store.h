@@ -41,6 +41,12 @@ struct SnapshotStats {
   uint64_t deps_bytes_zeroed = 0;  // Deps prefetch skipped via dep-cache residency.
   uint64_t tail_bytes = 0;         // Post-restore demand-fault bytes.
   uint64_t restored_heap_bytes = 0;  // Recorded heap summed over restores.
+  // Snapshot-hit migration transfers (fig12 drain metrics): a migration
+  // to a restore-capable destination ships only the delta beyond the
+  // recording; the recorded portion is bulk-restored from the store.
+  uint64_t migration_hits = 0;              // Transfers that hit a recording.
+  uint64_t migration_restores = 0;          // Instances bulk-restored on arrival.
+  uint64_t migration_wire_saved_bytes = 0;  // Recorded bytes that skipped the wire.
 
   // Demand-fault tail as a percentage of the restored heap (0 when no
   // restore happened): the staleness signal fig12 reports.
@@ -64,16 +70,26 @@ class SnapshotStore : public SnapshotRegistry {
   SnapshotId Intern(const std::string& key) override SQZ_EXCLUDES(mu_);
   bool Recorded(SnapshotId snap) const override SQZ_EXCLUDES(mu_);
   SnapshotImage Image(SnapshotId snap) const override SQZ_EXCLUDES(mu_);
+  uint64_t RecordedHeapBytes(SnapshotId snap) const override SQZ_EXCLUDES(mu_);
   bool Record(SnapshotId snap, const SnapshotImage& image) override SQZ_EXCLUDES(mu_);
   void Invalidate(SnapshotId snap) override SQZ_EXCLUDES(mu_);
   void NoteRestore(SnapshotId snap, uint64_t prefetch_bytes,
                    uint64_t deps_bytes_zeroed) override SQZ_EXCLUDES(mu_);
   bool NoteTail(SnapshotId snap, uint64_t tail_bytes) override SQZ_EXCLUDES(mu_);
 
+  // Fleet-side bookkeeping for one snapshot-hit migration transfer
+  // (mirrors DepCache::RecordWireHit): `wire_saved_bytes` of recorded
+  // state skipped the wire and `restores` adopted instances bulk-restored
+  // it from the store at the destination.  Cluster-only — the per-host
+  // runtime never prices migrations.
+  void RecordMigrationHit(uint64_t wire_saved_bytes, uint64_t restores)
+      SQZ_EXCLUDES(mu_);
+
   SnapshotStats stats() const SQZ_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return stats_;
   }
+  const SnapshotStoreConfig& config() const { return config_; }
   // Keys of every currently-valid recording, in key order.  Sim-visible
   // dump path: iteration runs over the ordered key index, never a hash
   // table, so the listing is a pure function of the recorded set

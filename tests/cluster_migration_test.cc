@@ -15,9 +15,11 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/cluster/cluster.h"
+#include "src/cluster/migration_planner.h"
 #include "src/faas/function.h"
 #include "src/trace/cluster_trace.h"
 
@@ -405,6 +407,227 @@ TEST(ClusterMigrationTest, PressureMigrationFreesDonorForStarvedScaleups) {
   // The warm state survived on host 1 until its keep-alive expires.
   EXPECT_GE(cluster.host(1).agent(idle_local).idle_instances(),
             cluster.migrated_instances());
+}
+
+// --- AdoptableReplicas contract: the quote IS the adoption ------------------------
+
+// Satellite regression (partial-adopt mispricing): the transfer is priced
+// on AdoptableReplicas' quote, so an AdoptReplica immediately after (same
+// books, no intervening event) must admit exactly that many — across
+// every headroom from "nothing fits" to "everything fits".
+TEST(ClusterMigrationTest, AdoptableQuoteMatchesImmediateAdoption) {
+  constexpr uint32_t kWarm = 6;
+  const FunctionSpec spec = TinySpec("quote");
+  RuntimeConfig cfg;
+  cfg.policy = ReclaimPolicy::kSqueezy;
+  cfg.vm_base_memory = MiB(128);
+  cfg.keep_alive = Minutes(5);
+  cfg.seed = 11;
+  const uint64_t plug_unit = BytesToBlocks(spec.memory_limit) * kMemoryBlockBytes;
+  const uint64_t boot = FaasRuntime::BootCommitment(cfg, spec, 8);
+
+  for (uint32_t fits = 0; fits <= kWarm + 1; ++fits) {
+    EventQueue events;
+    RuntimeConfig src_cfg = cfg;
+    src_cfg.host_capacity = boot + 8 * plug_unit;
+    FaasRuntime src(src_cfg, &events);
+    RuntimeConfig dst_cfg = cfg;
+    dst_cfg.host_capacity = boot + fits * plug_unit;
+    FaasRuntime dst(dst_cfg, &events);
+    const int src_fn = src.AddFunction(spec, 8);
+    const int dst_fn = dst.AddFunction(spec, 8);
+    std::vector<Invocation> warmup;
+    for (uint32_t i = 0; i < kWarm; ++i) {
+      warmup.push_back({Msec(10) * i, src_fn});
+    }
+    src.SubmitTrace(warmup);
+    events.RunUntil(Minutes(1));
+    const ReplicaMigrationState state = src.EvictReplica(src_fn);
+    ASSERT_EQ(state.warm_instances, kWarm);
+
+    const size_t quoted = dst.AdoptableReplicas(dst_fn, state.warm_instances);
+    const size_t adopted = dst.AdoptReplica(dst_fn, state, events.now() + Sec(1));
+    EXPECT_EQ(quoted, adopted) << "headroom " << fits << " plug units";
+    EXPECT_EQ(adopted, std::min<size_t>(fits, kWarm)) << "headroom " << fits;
+  }
+}
+
+// --- DrainHost idempotence --------------------------------------------------------
+
+// Satellite regression (drain-check race): the draining() check, the
+// migration sweep, and Drain() now sit in one lock scope — a second
+// DrainHost on an already-draining host is a no-op, never a second sweep.
+TEST(ClusterMigrationTest, DrainHostIsIdempotent) {
+  Cluster cluster(BaseConfig(ReclaimPolicy::kSqueezy, MigrationMode::kMigrateOnDrain));
+  for (int f = 0; f < 4; ++f) {
+    cluster.AddFunction(TinySpec("idem"), 8);
+  }
+  cluster.SubmitTrace(GenerateClusterTrace(SkewedTrace(), 42));
+  const size_t victim = DrainMostCommitted(cluster, Minutes(3));
+  ASSERT_TRUE(cluster.host(victim).draining());
+  const size_t migrations_after_first = cluster.migrations().size();
+  ASSERT_GT(migrations_after_first, 0u);
+  cluster.DrainHost(victim);  // Second drain: no second migration sweep.
+  EXPECT_EQ(cluster.migrations().size(), migrations_after_first);
+  cluster.RunUntil(Minutes(8));
+  EXPECT_EQ(cluster.migrations().size(), migrations_after_first);
+  EXPECT_EQ(cluster.migrations_in_flight(), 0u);
+}
+
+// --- MigrationPlanner decision plane (mocked hosts) -------------------------------
+
+// A scriptable HostControl: the planner judges hosts purely through
+// Snapshot(), so the mock only has to stage those.
+class MockHost : public HostControl {
+ public:
+  explicit MockHost(HostSnapshot snap) : snap_(snap) {}
+  HostSnapshot Snapshot(int) const override { return snap_; }
+  uint64_t ProactiveReclaim(uint64_t) override { return 0; }
+  void Drain() override { snap_.draining = true; }
+  void Undrain() override { snap_.draining = false; }
+  ReplicaMigrationState EvictReplica(int) override { return {}; }
+  size_t AdoptableReplicas(int, size_t) const override { return 0; }
+  size_t AdoptReplica(int, const ReplicaMigrationState&, TimeNs) override { return 0; }
+
+ private:
+  HostSnapshot snap_;
+};
+
+HostSnapshot PressureSnap(size_t pending, bool draining = false) {
+  HostSnapshot s;
+  s.capacity = GiB(4);
+  s.committed = GiB(1);
+  s.available = s.capacity - s.committed;
+  s.pending_scaleups = pending;
+  s.draining = draining;
+  return s;
+}
+
+// Satellite regression (min_pending off-by-one): the old `worst =
+// min_pending - 1` seed made 0 behave like 1, so an all-idle fleet
+// returned -1 where the threshold-0 contract promises host 0.
+TEST(MigrationPlannerTest, MostPressuredHostHonorsZeroThreshold) {
+  std::vector<std::unique_ptr<MockHost>> owned;
+  std::vector<HostControl*> hosts;
+  for (const size_t pending : {0u, 0u, 0u}) {
+    owned.push_back(std::make_unique<MockHost>(PressureSnap(pending)));
+    hosts.push_back(owned.back().get());
+  }
+  const MigrationPlanner planner(hosts, CostModel::Default());
+  // Threshold 0: every non-draining host qualifies; ties -> lowest index.
+  EXPECT_EQ(planner.MostPressuredHost(0), 0);
+  // Threshold 1: nobody is starved, so nobody qualifies.
+  EXPECT_EQ(planner.MostPressuredHost(1), -1);
+}
+
+TEST(MigrationPlannerTest, MostPressuredHostPicksMaxAboveThreshold) {
+  std::vector<std::unique_ptr<MockHost>> owned;
+  std::vector<HostControl*> hosts;
+  for (const size_t pending : {2u, 7u, 7u, 4u}) {
+    owned.push_back(std::make_unique<MockHost>(PressureSnap(pending)));
+    hosts.push_back(owned.back().get());
+  }
+  const MigrationPlanner planner(hosts, CostModel::Default());
+  EXPECT_EQ(planner.MostPressuredHost(1), 1);  // Max pending, tie -> lowest.
+  EXPECT_EQ(planner.MostPressuredHost(5), 1);
+  EXPECT_EQ(planner.MostPressuredHost(8), -1);  // Nobody meets the bar.
+  // A draining host never becomes the victim, even at max pressure.
+  hosts[1]->Drain();
+  EXPECT_EQ(planner.MostPressuredHost(1), 2);
+}
+
+// The snapshot dimension slots below the dep-cache one: fits-all first,
+// then dep-populated, then snapshot-restorable, then most committed.
+TEST(MigrationPlannerTest, RankDestinationsPrefersSnapshotRestorableHosts) {
+  auto snap_with = [](bool dep, bool snap, uint64_t committed) {
+    HostSnapshot s;
+    s.capacity = GiB(8);
+    s.committed = committed;
+    s.available = s.capacity - committed;
+    s.dep_image_populated = dep;
+    s.snapshot_restorable = snap;
+    return s;
+  };
+  std::vector<std::unique_ptr<MockHost>> owned;
+  std::vector<HostControl*> hosts;
+  owned.push_back(std::make_unique<MockHost>(PressureSnap(0)));  // src (host 0).
+  owned.push_back(std::make_unique<MockHost>(snap_with(false, false, GiB(3))));
+  owned.push_back(std::make_unique<MockHost>(snap_with(false, true, GiB(1))));
+  owned.push_back(std::make_unique<MockHost>(snap_with(false, true, GiB(2))));
+  owned.push_back(std::make_unique<MockHost>(snap_with(true, false, GiB(1))));
+  for (auto& h : owned) {
+    hosts.push_back(h.get());
+  }
+  const MigrationPlanner planner(hosts, CostModel::Default());
+  std::vector<Replica> reps;
+  for (size_t h = 0; h < hosts.size(); ++h) {
+    reps.push_back(Replica{h, 0});
+  }
+  const std::vector<size_t> ranked =
+      planner.RankDestinations(/*src_host=*/0, reps, MiB(256), 2);
+  ASSERT_EQ(ranked.size(), 4u);
+  // Dep-populated host 4 first (deps outweigh the snapshot), then the
+  // snapshot-restorable pair by committed (host 3 over host 2), then the
+  // plain host 1 despite being the most committed overall.
+  EXPECT_EQ(reps[ranked[0]].host, 4u);
+  EXPECT_EQ(reps[ranked[1]].host, 3u);
+  EXPECT_EQ(reps[ranked[2]].host, 2u);
+  EXPECT_EQ(reps[ranked[3]].host, 1u);
+}
+
+// --- Snapshot-hit migration transfer (end to end) ---------------------------------
+
+// The tentpole: with the cluster snapshot store on and the destination
+// holding a valid recording, a drain migration ships only the delta
+// beyond the recording — the recorded portion skips the wire and the
+// adopted instances bulk-restore it on arrival, then serve warm.
+TEST(ClusterMigrationTest, SnapshotHitMigrationShipsOnlyTheDelta) {
+  auto run = [](bool snapshots, uint64_t* wire_bytes) {
+    ClusterConfig cfg = BaseConfig(ReclaimPolicy::kSqueezy, MigrationMode::kMigrateOnDrain);
+    cfg.shared_snapshots = snapshots;
+    Cluster cluster(cfg);
+    for (int f = 0; f < 4; ++f) {
+      cluster.AddFunction(TinySpec("snapmig"), 8);
+    }
+    cluster.SubmitTrace(GenerateClusterTrace(SkewedTrace(), 42));
+    const TimeNs drain_at = Minutes(3);
+    const size_t victim = DrainMostCommitted(cluster, drain_at);
+    uint64_t migrated = cluster.migrated_instances();
+    *wire_bytes = 0;
+    for (const MigrationRecord& m : cluster.migrations()) {
+      *wire_bytes += m.bytes_sent;
+    }
+    if (snapshots) {
+      const SnapshotStats& s = cluster.snapshot_store()->stats();
+      // At least one transfer hit a recording: the recorded bytes skipped
+      // the wire, and exactly the adopted instances restore on arrival.
+      EXPECT_GT(s.migration_hits, 0u);
+      EXPECT_GT(s.migration_wire_saved_bytes, 0u);
+      // Every restore belongs to an adopted instance (stale-tail captures
+      // fall back to full transfers, so <= rather than ==).
+      EXPECT_GT(s.migration_restores, 0u);
+      EXPECT_LE(s.migration_restores, migrated);
+      // Adopted instances still turn warm and serve after the transfer.
+      cluster.RunUntil(Minutes(8));
+      EXPECT_EQ(cluster.migrations_in_flight(), 0u);
+      for (const MigrationRecord& m : cluster.migrations()) {
+        EXPECT_NE(m.dst_host, victim);
+        EXPECT_GT(m.adopted, 0u);
+      }
+      EXPECT_GT(cluster.Summarize(Minutes(8)).completed_requests, 0u);
+    }
+    return migrated;
+  };
+  uint64_t wire_full = 0;
+  uint64_t wire_snap = 0;
+  const uint64_t migrated_full = run(false, &wire_full);
+  const uint64_t migrated_snap = run(true, &wire_snap);
+  ASSERT_GT(migrated_full, 0u);
+  ASSERT_GT(migrated_snap, 0u);
+  // The snapshot-hit run puts strictly fewer bytes on the wire per
+  // migrated instance — the recorded working set travels via the store.
+  EXPECT_LT(static_cast<double>(wire_snap) / static_cast<double>(migrated_snap),
+            static_cast<double>(wire_full) / static_cast<double>(migrated_full));
 }
 
 // Reap-only clusters never migrate, by construction.

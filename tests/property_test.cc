@@ -795,5 +795,143 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotFuzzTest, testing::Values(1u, 2u, 3u, 4u
                            return "seed" + std::to_string(param_info.param);
                          });
 
+// --- Snapshot + migration compose fuzz: delta transfers under churn --------------
+
+// Drain/migrate/undrain churn with BOTH registries on and a drain-heavy
+// op mix, so snapshot-hit transfers (recorded portion skips the wire, the
+// destination bulk-restores it) interleave with dep-cache hits, stale
+// fallbacks and partial adoptions.  Invariants on top of SnapshotFuzzTest:
+//   * migration restore accounting never outruns the migrations: every
+//     bulk-restored instance is an adopted one, and the wire-saved bytes
+//     never exceed the anonymous state the captures actually held —
+//     recorded state is discounted once, never double-counted against the
+//     dep cache's separate deps_bytes discount;
+//   * the fleet books conserve at every step and at quiescence the host
+//     book is exactly VM bases + the dep cache's charged images — a
+//     migration restore that leaked its bulk-populated pages into the
+//     commitment book would break the identity.
+class SnapshotMigrationFuzzTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnapshotMigrationFuzzTest, DeltaTransfersConserveBooksUnderChurn) {
+  const uint64_t seed = GetParam();
+  constexpr int kFunctions = 4;
+  constexpr uint32_t kConcurrency = 8;
+
+  ClusterConfig cfg;
+  cfg.nr_hosts = 4;
+  cfg.placement = PlacementPolicy::kMemoryAwareBinPack;
+  cfg.migration = MigrationMode::kMigrateOnDrain;
+  cfg.pressure_migrate_min_pending = 1;
+  cfg.shared_dep_cache = true;
+  cfg.shared_snapshots = true;
+  cfg.host.policy = ReclaimPolicy::kSqueezy;
+  cfg.host.host_capacity = MiB(2560);
+  cfg.host.vm_base_memory = MiB(128);
+  cfg.host.keep_alive = Sec(45);
+  cfg.host.pressure_check_period = Msec(500);
+  cfg.host.seed = seed;
+  Cluster cluster(cfg);
+
+  FunctionSpec spec;
+  spec.name = "snapmigfuzz";
+  spec.vcpu_shares = 1.0;
+  spec.memory_limit = MiB(256);
+  spec.anon_working_set = MiB(96);
+  spec.file_deps_bytes = MiB(64);
+  spec.container_init_cpu = Msec(80);
+  spec.function_init_cpu = Msec(120);
+  spec.exec_cpu_mean = Msec(100);
+  spec.exec_cv = 0.0;
+
+  std::vector<uint64_t> base_commit(cluster.host_count(), 0);
+  for (int f = 0; f < kFunctions; ++f) {
+    const int fn = cluster.AddFunction(spec, kConcurrency);
+    for (const Replica& r : cluster.replicas(fn)) {
+      base_commit[r.host] += cfg.host.vm_base_memory;
+    }
+  }
+  const DepCache& cache = *cluster.dep_cache();
+  const SnapshotStore& store = *cluster.snapshot_store();
+
+  ClusterTraceConfig trace;
+  trace.duration = Minutes(6);
+  trace.nr_functions = kFunctions;
+  trace.total_base_rate_per_sec = 2.0;
+  trace.zipf_s = 1.2;
+  trace.bursty_fraction = 0.5;
+  trace.burst_multiplier = 30.0;
+  trace.mean_burst_len = Sec(20);
+  trace.mean_gap = Sec(60);
+  cluster.SubmitTrace(GenerateClusterTrace(trace, seed));
+
+  auto check_invariants = [&](int step) {
+    for (size_t h = 0; h < cluster.host_count(); ++h) {
+      const FaasRuntime& host = cluster.host(h);
+      ASSERT_LE(host.committed(), host.host_capacity()) << "step " << step;
+      ASSERT_LE(host.host().populated(), host.committed()) << "step " << step;
+    }
+    // Migration restore accounting: every bulk-restored instance was an
+    // adopted one, and the recorded bytes that skipped the wire never
+    // exceed the anonymous state the captures held (each instance's
+    // recorded share is bounded by its working set — counting it twice,
+    // or counting deps_bytes as recorded, would overflow this bound).
+    const SnapshotStats& s = store.stats();
+    ASSERT_LE(s.migration_restores, cluster.migrated_instances()) << "step " << step;
+    uint64_t captured_anon_cap = 0;
+    for (const MigrationRecord& m : cluster.migrations()) {
+      captured_anon_cap += static_cast<uint64_t>(m.captured) * spec.anon_working_set;
+    }
+    ASSERT_LE(s.migration_wire_saved_bytes, captured_anon_cap) << "step " << step;
+    ASSERT_GE(s.migration_restores, s.migration_hits) << "step " << step;
+  };
+
+  Rng rng(seed * 2862933555777941757ull + 17);
+  TimeNs t = 0;
+  for (int step = 0; step < 30; ++step) {
+    t += Sec(rng.UniformInt(2, 16));
+    cluster.RunUntil(t);
+    const size_t h =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(cluster.host_count()) - 1));
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+      case 1:
+        cluster.DrainHost(h);  // Drain-heavy: the snapshot-hit path's trigger.
+        break;
+      case 2:
+        cluster.UndrainHost(h);
+        break;
+      case 3:
+        cluster.MigratePressured();
+        break;
+    }
+    check_invariants(step);
+  }
+
+  cluster.RunAll();
+  check_invariants(999);
+  // The churn migrated warm state, and at least one transfer shipped only
+  // the delta (4 hosts share one recording slot, so destinations hold a
+  // valid recording whenever the source's capture is fresh).
+  EXPECT_GT(cluster.migrated_instances(), 0u);
+  EXPECT_GT(store.stats().migration_hits, 0u);
+  EXPECT_GT(store.stats().migration_wire_saved_bytes, 0u);
+  // Quiescence: every keep-alive expired and every discount unwound — the
+  // book is exactly VM bases + charged dep images, bit-for-bit the same
+  // identity the snapshot-off and migration-off fuzzes lock.
+  for (size_t h = 0; h < cluster.host_count(); ++h) {
+    const FaasRuntime& host = cluster.host(h);
+    EXPECT_EQ(host.committed(), base_commit[h] + cache.charged_bytes(h)) << "host " << h;
+    for (size_t fn = 0; fn < host.function_count(); ++fn) {
+      EXPECT_EQ(host.agent(static_cast<int>(fn)).live_instances(), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotMigrationFuzzTest,
+                         testing::Values(1u, 2u, 3u, 4u, 5u, 6u),
+                         [](const testing::TestParamInfo<uint64_t>& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
 }  // namespace
 }  // namespace squeezy

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/cluster/dep_cache.h"
+#include "src/cluster/migration_planner.h"
 #include "src/faas/function.h"
 #include "src/faas/runtime.h"
 #include "src/metrics/latency_recorder.h"
@@ -100,6 +101,86 @@ TEST(SnapshotStoreTest, TailAboveThresholdFractionInvalidates) {
   EXPECT_FALSE(store.Recorded(s));
   EXPECT_EQ(store.stats().invalidations, 1u);
   EXPECT_EQ(store.stats().tail_bytes, MiB(50) + 1);
+}
+
+TEST(SnapshotStoreTest, RecordedHeapBytesSafeOnAnySlotState) {
+  SnapshotStore store;
+  const SnapshotId s = store.Intern("fn/64/96");
+  // Unrecorded: 0, no assert (unlike Image(), which requires a recording).
+  EXPECT_EQ(store.RecordedHeapBytes(s), 0u);
+  SnapshotImage img;
+  img.heap_bytes = MiB(96);
+  ASSERT_TRUE(store.Record(s, img));
+  EXPECT_EQ(store.RecordedHeapBytes(s), MiB(96));
+  store.Invalidate(s);
+  EXPECT_EQ(store.RecordedHeapBytes(s), 0u);
+}
+
+TEST(SnapshotStoreTest, RecordMigrationHitAccumulatesStats) {
+  SnapshotStore store;
+  store.RecordMigrationHit(MiB(192), 2);
+  store.RecordMigrationHit(MiB(96), 1);
+  EXPECT_EQ(store.stats().migration_hits, 2u);
+  EXPECT_EQ(store.stats().migration_restores, 3u);
+  EXPECT_EQ(store.stats().migration_wire_saved_bytes, MiB(288));
+}
+
+// --- Migration transfer pricing ------------------------------------------------------
+
+// The planner only reads hosts through Snapshot(); TransferCost never
+// touches them, so an inert stub satisfies the constructor.
+class InertHost : public HostControl {
+ public:
+  HostSnapshot Snapshot(int) const override { return HostSnapshot{}; }
+  uint64_t ProactiveReclaim(uint64_t) override { return 0; }
+  void Drain() override {}
+  void Undrain() override {}
+  ReplicaMigrationState EvictReplica(int) override { return {}; }
+  size_t AdoptableReplicas(int, size_t) const override { return 0; }
+  size_t AdoptReplica(int, const ReplicaMigrationState&, TimeNs) override { return 0; }
+};
+
+// Locks the price ladder across the three transfer generations: the PR 3
+// full transfer > the PR 4 dep-cache hit > this PR's snapshot + dep hit —
+// on total time AND on wire bytes.  The snapshot hit prefetches the
+// recorded portion at 0.85 ns/B in one pass instead of wiring it at
+// ~1.04 ns/B per pre-copy round, so it wins whenever the recording
+// outweighs the fixed restore setup.
+TEST(SnapshotMigrationCostTest, SnapshotHitPricesBelowDepHitBelowFull) {
+  InertHost host;
+  const MigrationPlanner planner({&host}, CostModel::Default());
+
+  ReplicaMigrationState full;
+  full.warm_instances = 4;
+  full.state_bytes = MiB(384);
+  full.deps_bytes = MiB(64);
+  full.busy_fraction = 0.25;
+  const StateTransferCost full_cost = planner.TransferCost(full);
+
+  // Dep-cache hit (PR 4 shape): the caller zeroes deps_bytes.
+  ReplicaMigrationState dep = full;
+  dep.deps_bytes = 0;
+  const StateTransferCost dep_cost = planner.TransferCost(dep, /*dep_cache_hit=*/true);
+
+  // Snapshot + dep hit (this PR's shape): the caller additionally moves
+  // the recorded portion out of state_bytes — only the delta ships.
+  ReplicaMigrationState snap = dep;
+  snap.recorded_bytes = MiB(288);  // 3 of the 4 instances fully recorded.
+  snap.state_bytes -= snap.recorded_bytes;
+  const StateTransferCost snap_cost =
+      planner.TransferCost(snap, /*dep_cache_hit=*/true, /*snapshot_hit=*/true);
+
+  EXPECT_LT(dep_cost.total(), full_cost.total());
+  EXPECT_LT(snap_cost.total(), dep_cost.total());
+  EXPECT_LT(dep_cost.bytes_sent, full_cost.bytes_sent);
+  EXPECT_LT(snap_cost.bytes_sent, dep_cost.bytes_sent);
+  // The discounts are attach terms, not freebies: both hit prices carry
+  // their fixed costs on top of the delta's wire time.
+  const CostModel cost = CostModel::Default();
+  const StateTransferCost delta_only = planner.TransferCost(snap);
+  EXPECT_EQ(snap_cost.total(), delta_only.total() + cost.dep_cache_hit_fixed +
+                                   cost.SnapshotAttach(snap.recorded_bytes));
+  EXPECT_EQ(snap_cost.bytes_sent, delta_only.bytes_sent);
 }
 
 // --- Restore after evict -------------------------------------------------------------

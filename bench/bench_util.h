@@ -22,7 +22,7 @@ namespace squeezy {
 // simulation — sim results stay a pure function of (config, seed).
 class WallTimer {
  public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  WallTimer() : start_(std::chrono::steady_clock::now()), lap_(start_) {}
 
   // Seconds since construction (monotonic; immune to NTP steps).
   double Seconds() const {
@@ -30,8 +30,20 @@ class WallTimer {
         .count();
   }
 
+  // Seconds since the last Lap() (or construction), then starts a new
+  // lap.  Phase timing: lap once after setup (cluster build, trace
+  // generation, SubmitTrace) and once after the run, so events/sec is
+  // computed over the run phase alone — setup and teardown excluded.
+  double Lap() {
+    const auto now = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return s;
+  }
+
  private:
   std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point lap_;
 };
 
 // Banner printed by every bench binary: which paper artifact it
@@ -62,7 +74,14 @@ inline std::string Ratio(double r) {
 // like CsvWriter.
 class BenchJson {
  public:
-  explicit BenchJson(const std::string& bench_name) : name_(bench_name) {}
+  // `file_prefix` selects the artifact family: "BENCH" (default) holds
+  // ONLY deterministic metrics — CI byte-diffs BENCH_*.json across
+  // SQUEEZY_SIM_THREADS values, so anything wall-clock-derived
+  // (events/sec, speedups) must go into a separate "TIMING" file that
+  // the determinism diff never sees.
+  explicit BenchJson(const std::string& bench_name,
+                     const std::string& file_prefix = "BENCH")
+      : name_(bench_name), prefix_(file_prefix) {}
 
   // Headline scalars ("admitted", "speedup_vs_virtio", ...).  JSON has no
   // NaN/Infinity literals, so non-finite values (a speedup ratio dividing
@@ -90,9 +109,9 @@ class BenchJson {
   void SetColumns(std::vector<std::string> columns) { columns_ = std::move(columns); }
   void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
 
-  // Writes bench_results/BENCH_<name>.json; returns the path ("" on error).
+  // Writes bench_results/<prefix>_<name>.json; returns the path ("" on error).
   std::string Write() const {
-    const std::string path = "bench_results/BENCH_" + name_ + ".json";
+    const std::string path = "bench_results/" + prefix_ + "_" + name_ + ".json";
     std::error_code ec;
     std::filesystem::create_directories("bench_results", ec);
     std::ofstream out(path);
@@ -149,6 +168,7 @@ class BenchJson {
   }
 
   std::string name_;
+  std::string prefix_;
   std::vector<std::pair<std::string, std::string>> metrics_;
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;

@@ -15,6 +15,20 @@
 //                 →  EventQueue::mu_
 // EventQueue invokes event handlers with its lock RELEASED, so handler
 // code may re-enter any layer without inverting the order.
+//
+// Sharded kernel (src/sim/sharded_event_queue.*) refinements:
+//   * Shard-local: during a parallel epoch each worker touches ONLY its
+//     own shards' EventQueue::mu_ — two shard locks are never held at
+//     once, so shard queues need no order among themselves.
+//   * Cross-shard mail: events targeting another host are never pushed
+//     into the destination shard mid-epoch; they go to the mailbox
+//     queue (ShardedEventQueue::global()), which the coordinator drains
+//     alone at epoch barriers.  Mailbox EventQueue::mu_ therefore ranks
+//     with EventQueue::mu_ above and is only ever taken from sequential
+//     (single-thread) context — never while holding a shard's lock.
+//   * ShardedEventQueue::pool_mu_ (phase handoff) sits BELOW every
+//     EventQueue::mu_: it is taken only between phases, with no queue
+//     lock held, and no queue operation happens while holding it.
 #ifndef SQUEEZY_BASE_MUTEX_H_
 #define SQUEEZY_BASE_MUTEX_H_
 

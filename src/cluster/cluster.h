@@ -37,6 +37,7 @@
 #include "src/snapshot/snapshot_store.h"
 #include "src/metrics/fleet.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/sharded_event_queue.h"
 #include "src/trace/trace_gen.h"
 
 namespace squeezy {
@@ -70,10 +71,19 @@ struct ClusterConfig {
   bool shared_snapshots = false;
   // Event-queue implementation for the shared fleet clock.  The timer
   // wheel is the default; kBinaryHeap preserves the pre-wheel single
-  // priority queue so benches can A/B the kernel at fleet scale.  Both
-  // fire events in identical order (locked by tests), so this knob never
+  // priority queue so benches can A/B the kernel at fleet scale.
+  // kSharded gives every host its own wheel plus a cross-shard mailbox,
+  // driven by the Cluster in deterministic lockstep epochs
+  // (src/sim/sharded_event_queue.h).  All three fire events in identical
+  // order (locked by tests and the property fuzz), so this knob never
   // changes results — only wall-clock speed.
   EventQueue::Impl queue_impl = EventQueue::Impl::kTimerWheel;
+  // Thread-pool width for kSharded parallel epochs (coordinator thread
+  // included).  0 = read SQUEEZY_SIM_THREADS from the environment
+  // (defaulting to 1 when unset); ignored by the single-queue impls.
+  // Any value yields bit-identical results — threads only change
+  // wall-clock.
+  size_t sim_threads = 0;
 };
 
 // Lock discipline: the cluster self-locks (`mu_`) around its routing and
@@ -101,11 +111,43 @@ class Cluster {
   // function index).  Routing happens per invocation at its arrival time.
   void SubmitTrace(const std::vector<Invocation>& trace) SQZ_EXCLUDES(mu_);
 
-  void RunUntil(TimeNs t) { events_.RunUntil(t); }
-  void RunAll() { events_.RunAll(); }
+  // Under kSharded these drive the epoch coordinator: advance all shards
+  // to the next cross-shard barrier in parallel, merge the barrier
+  // instant in (when, seq) order, repeat.  Single-queue impls just run.
+  void RunUntil(TimeNs t) {
+    if (sharded_ != nullptr) {
+      sharded_->RunUntil(t);
+    } else {
+      events_->RunUntil(t);
+    }
+  }
+  void RunAll() {
+    if (sharded_ != nullptr) {
+      sharded_->RunAll();
+    } else {
+      events_->RunAll();
+    }
+  }
 
   // --- Accessors -----------------------------------------------------------------
-  EventQueue& events() { return events_; }
+  // The fleet-level queue: the single global queue, or — under kSharded —
+  // the cross-shard mailbox (dispatch, churn, migration completions).
+  // Fleet-sequential contexts (tests, benches, Cluster handlers) schedule
+  // here; per-host machinery runs on host_queue(h).
+  EventQueue& events() { return *events_; }
+  // The queue host h's runtime and agents fire on: its shard under
+  // kSharded, the global queue otherwise.
+  EventQueue& host_queue(size_t h) {
+    return sharded_ != nullptr ? sharded_->shard(h) : *events_;
+  }
+  // Null unless queue_impl == kSharded.
+  const ShardedEventQueue* sharded() const { return sharded_.get(); }
+  // Events executed across the whole kernel (all shards + mailbox under
+  // kSharded) — the bench throughput numerator.
+  uint64_t processed_events() const {
+    return sharded_ != nullptr ? sharded_->processed_events()
+                               : events_->processed_events();
+  }
   size_t host_count() const { return hosts_.size(); }
   FaasRuntime& host(size_t h) { return *hosts_[h]; }
   const FaasRuntime& host(size_t h) const { return *hosts_[h]; }
@@ -210,7 +252,13 @@ class Cluster {
   size_t MigrateOff(size_t src) SQZ_REQUIRES(mu_);
 
   const ClusterConfig config_;  // Immutable after construction.
-  EventQueue events_;           // Self-locking (see event_queue.h).
+  // Exactly one of the two kernels below is live.  kSharded builds the
+  // per-host shard array + mailbox; every other impl builds one global
+  // queue.  `events_` always points at the fleet-level queue (the
+  // mailbox under kSharded) so the scheduling sites read uniformly.
+  std::unique_ptr<ShardedEventQueue> sharded_;
+  std::unique_ptr<EventQueue> single_;
+  EventQueue* events_;  // Never null; &sharded_->global() or single_.get().
   // The unique_ptr targets below are installed once in the constructor
   // and never reseated; the pointed-to objects self-lock.
   std::unique_ptr<DepCache> dep_cache_;  // Null unless shared_dep_cache.

@@ -22,6 +22,7 @@ std::vector<size_t> MigrationPlanner::RankDestinations(
     bool fits_all;
     bool dep_populated;
     bool snap_restorable;
+    size_t restores_in_flight;
     uint64_t committed;
   };
   std::vector<Candidate> cands;
@@ -35,7 +36,7 @@ std::vector<size_t> MigrationPlanner::RankDestinations(
       continue;  // Cannot take even one instance's commitment.
     }
     cands.push_back(Candidate{i, s.available >= wanted * unit_bytes, s.dep_image_populated,
-                              s.snapshot_restorable, s.committed});
+                              s.snapshot_restorable, s.restores_in_flight, s.committed});
   }
   // Bin-pack flavor, same as placement: pack the incoming state onto the
   // most committed host that still fits the whole move, partial fits
@@ -45,8 +46,12 @@ std::vector<size_t> MigrationPlanner::RankDestinations(
   // restore the function's snapshot recording (only the delta beyond the
   // recording crosses the wire there) — both dimensions are always false
   // without the respective registry, so the pre-cache/pre-snapshot
-  // orderings are preserved bit-identically.  stable_sort keeps exact
-  // ties at the lowest host index (deterministic).
+  // orderings are preserved bit-identically.  Destinations already
+  // serving bulk restores rank behind idle-channel peers of the same
+  // class: each host serializes RestoreWorkingSet prefetches, so landing
+  // on a busy channel queues behind the in-flight transfers (always 0
+  // without a registry — ordering unchanged then).  stable_sort keeps
+  // exact ties at the lowest host index (deterministic).
   std::stable_sort(cands.begin(), cands.end(), [](const Candidate& a, const Candidate& b) {
     if (a.fits_all != b.fits_all) {
       return a.fits_all;
@@ -56,6 +61,9 @@ std::vector<size_t> MigrationPlanner::RankDestinations(
     }
     if (a.snap_restorable != b.snap_restorable) {
       return a.snap_restorable;
+    }
+    if (a.restores_in_flight != b.restores_in_flight) {
+      return a.restores_in_flight < b.restores_in_flight;
     }
     return a.committed > b.committed;
   });

@@ -425,6 +425,12 @@ void Agent::RestoreWarmState(int32_t instance_id, uint64_t anon_bytes,
     }
     restored_bytes = rest.anon_bytes;
     restore_latency = rest.nested;
+    // The bulk populate rides the host's single restore channel: when
+    // several snapshot-hit migrations land in the same window, each waits
+    // out the transfers queued ahead of it.
+    if (callbacks_.restore_channel) {
+      restore_latency += callbacks_.restore_channel(rest.nested);
+    }
   }
   // Fault the transferred anonymous state back in; dependency pages come
   // through the shared guest page cache as for any instance.

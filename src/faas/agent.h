@@ -89,6 +89,12 @@ struct AgentCallbacks {
   // demand-faulted `tail_bytes` outside the recording (the staleness
   // signal the registry's re-record policy consumes).
   std::function<void(uint64_t tail_bytes)> restore_tail;
+  // Optional: reserve the host's single restore-prefetch channel for
+  // `busy` time starting now; returns the queueing delay before this
+  // transfer can begin (0 when the channel is free).  Concurrent
+  // RestoreWorkingSet bulk prefetches on one host — migration landings
+  // and cold-start restores — serialize through it.
+  std::function<DurationNs(DurationNs busy)> restore_channel;
 };
 
 class Agent {

@@ -65,6 +65,12 @@ struct HostSnapshot {
   // the recording.  Only meaningful with a local function index; false
   // otherwise.
   bool snapshot_restorable = false;
+  // Bulk working-set restores (cold-start prefetches and migration
+  // landings) still occupying or queued on this host's single restore
+  // channel.  Each host serializes concurrent RestoreWorkingSet bulk
+  // prefetches, so a destination already restoring delays new arrivals —
+  // the planner penalizes it (function-agnostic; 0 without a registry).
+  size_t restores_in_flight = 0;
 };
 
 class HostControl {

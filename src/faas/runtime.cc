@@ -148,6 +148,9 @@ int FaasRuntime::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency)
   if (vm(fn).snapshot != kNoSnapshot) {
     callbacks.try_restore = [this, fn](Pid pid) { return TryRestoreSnapshot(fn, pid); };
     callbacks.restore_tail = [this, fn](uint64_t tail) { NoteRestoreTail(fn, tail); };
+    callbacks.restore_channel = [this](DurationNs busy) {
+      return ReserveRestoreChannel(busy);
+    };
   }
   VmBundle& b = vm(fn);
   b.agent = std::make_unique<Agent>(events_, b.guest.get(), b.sqz.get(), spec, acfg,
@@ -361,8 +364,13 @@ SnapshotRestorePlan FaasRuntime::TryRestoreSnapshot(int fn, Pid pid) {
   }
   plan.restored = true;
   plan.heap_bytes = out.anon_bytes;
-  plan.latency =
-      cost_.snapshot_restore_fixed + cost_.SnapshotPrefetchBytes(prefetch) + out.nested;
+  // The prefetch + populate work occupies the host's single restore
+  // channel; a restore landing while another is in flight queues behind
+  // it, so concurrent bulk prefetches pay serialized (not overlapped)
+  // transfer time.  With the channel free the delay is 0 and the latency
+  // is exactly the pre-channel pricing.
+  const DurationNs busy = cost_.SnapshotPrefetchBytes(prefetch) + out.nested;
+  plan.latency = cost_.snapshot_restore_fixed + ReserveRestoreChannel(busy) + busy;
   snap_registry_->NoteRestore(b.snapshot, prefetch, deps_zeroed);
   return plan;
 }
@@ -375,6 +383,27 @@ void FaasRuntime::NoteRestoreTail(int fn, uint64_t tail_bytes) {
   // Above the threshold the registry invalidates; the next fully-warm
   // idle of this VM re-records the grown working set.
   snap_registry_->NoteTail(b.snapshot, tail_bytes);
+}
+
+DurationNs FaasRuntime::ReserveRestoreChannel(DurationNs busy) {
+  const TimeNs now = events_->now();
+  // Prune completed transfers so restores_in_flight stays a live count.
+  restore_ends_.erase(std::remove_if(restore_ends_.begin(), restore_ends_.end(),
+                                     [now](TimeNs end) { return end <= now; }),
+                      restore_ends_.end());
+  const TimeNs start = std::max(now, restore_busy_until_);
+  restore_busy_until_ = start + busy;
+  restore_ends_.push_back(restore_busy_until_);
+  return start - now;
+}
+
+size_t FaasRuntime::restores_in_flight() const {
+  const TimeNs now = events_->now();
+  size_t live = 0;
+  for (const TimeNs end : restore_ends_) {
+    live += end > now ? 1 : 0;
+  }
+  return live;
 }
 
 // --- Mechanism primitives (ReclaimHost) --------------------------------------------
@@ -606,6 +635,7 @@ HostSnapshot FaasRuntime::Snapshot(int local_fn) const {
   s.pending_scaleups = pending_.size();
   s.draining = draining_;
   s.can_admit = local_fn >= 0 && CanAdmit(local_fn);
+  s.restores_in_flight = restores_in_flight();
   if (local_fn >= 0 && dep_registry_ != nullptr) {
     const DepImageId img = vms_[static_cast<size_t>(local_fn)]->dep_image;
     s.dep_image_populated = img != kNoDepImage && dep_registry_->Populated(host_id_, img);

@@ -272,6 +272,14 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   SnapshotRestorePlan TryRestoreSnapshot(int fn, Pid pid);
   // Staleness signal from a restored instance's first execution.
   void NoteRestoreTail(int fn, uint64_t tail_bytes);
+  // One bulk-prefetch channel per host: concurrent RestoreWorkingSet
+  // transfers (cold-start restores and migration landings) serialize.
+  // Reserves the channel for `busy` time starting now; returns the
+  // queueing delay before this transfer can begin (0 when free).
+  DurationNs ReserveRestoreChannel(DurationNs busy);
+  // Restores still occupying or queued on the channel right now (the
+  // planner's destination-contention penalty signal).
+  size_t restores_in_flight() const;
 
   // Periodic tick bodies, driven by the coalesced per-host repeating
   // timers below (one persistent closure each, re-armed in place).  The
@@ -298,6 +306,11 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   uint64_t unplug_incomplete_ = 0;
   uint64_t proactive_reclaims_ = 0;
   uint64_t adopted_instances_ = 0;
+  // Restore-channel book: the instant the channel next frees, plus the
+  // end instants of reserved transfers (pruned lazily) backing the
+  // restores_in_flight count.
+  TimeNs restore_busy_until_ = 0;
+  std::vector<TimeNs> restore_ends_;
   bool draining_ = false;
   // Per-host periodic work, coalesced: each timer owns its closure once
   // and re-arms in place every pressure_check_period instead of

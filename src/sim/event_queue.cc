@@ -13,10 +13,11 @@ constexpr size_t kCompactMinStored = 64;
 
 }  // namespace
 
-EventQueue::EventQueue(Impl impl) : use_wheel_(impl == Impl::kTimerWheel) {
+EventQueue::EventQueue(Impl impl) : use_wheel_(impl != Impl::kBinaryHeap) {
   if (use_wheel_) {
     fine_slots_.resize(kFineSlots);
     coarse_slots_.resize(kCoarseSlots);
+    super_slots_.resize(kSuperSlots);
   }
 }
 
@@ -25,9 +26,19 @@ EventId EventQueue::ScheduleAtLocked(TimeNs when, std::function<void()> fn) {
     when = now_;
   }
   const EventId id = next_id_++;
-  Insert(Entry{when, next_seq_++, id, std::move(fn)});
+  const uint64_t seq = seq_source_ != nullptr
+                           ? seq_source_->fetch_add(1, std::memory_order_relaxed) + 1
+                           : next_seq_++;
+  Insert(Entry{when, seq, id, std::move(fn)});
   live_.insert(id);
+  change_version_.fetch_add(1, std::memory_order_relaxed);
   return id;
+}
+
+void EventQueue::SetSequenceSource(std::atomic<uint64_t>* source) {
+  MutexLock lock(&mu_);
+  assert(next_seq_ == 1 && "sequence source must be set before any scheduling");
+  seq_source_ = source;
 }
 
 EventId EventQueue::ScheduleAt(TimeNs when, std::function<void()> fn) {
@@ -68,7 +79,18 @@ void EventQueue::Insert(Entry e) {
       ++coarse_count_;
       return;
     }
-    // Beyond the coarse horizon, or behind an already-advanced region:
+    const uint64_t super = region >> kSuperRegionShift;
+    if (super > super_pos_ && super - super_pos_ < kSuperSlots) {
+      // Beyond the coarse horizon but inside the super horizon (~26
+      // days): O(1) unsorted block bucket, dumped into the coarse
+      // window when the clock enters its block.  (super == super_pos_
+      // with region > region_ implies region - region_ < kCoarseSlots,
+      // so such entries were already taken by the branches above.)
+      super_slots_[super & kSuperMask].push_back(std::move(e));
+      ++super_count_;
+      return;
+    }
+    // Beyond the super horizon, or behind an already-advanced region:
     // the overflow heap (always consulted by the peek comparison).
   }
   overflow_.push_back(std::move(e));
@@ -93,6 +115,33 @@ void EventQueue::CascadeOverflow() {
   }
 }
 
+void EventQueue::DumpSuperSlot() {
+  std::vector<Entry>& slot = super_slots_[super_pos_ & kSuperMask];
+  if (slot.empty()) {
+    return;
+  }
+  super_count_ -= slot.size();
+  for (Entry& e : slot) {
+    // region_ sits at the block's first region, so every entry's region
+    // is within [region_, region_ + kCoarseSlots).
+    if (RegionOf(e.when) == region_) {
+      PushFine(std::move(e));
+    } else {
+      coarse_slots_[RegionOf(e.when) & kCoarseMask].push_back(std::move(e));
+      ++coarse_count_;
+    }
+  }
+  slot.clear();
+}
+
+void EventQueue::MaybeEnterSuperBlock() {
+  const uint64_t super = region_ >> kSuperRegionShift;
+  if (super != super_pos_) {
+    super_pos_ = super;
+    DumpSuperSlot();
+  }
+}
+
 bool EventQueue::RefillFine() {
   for (;;) {
     CascadeOverflow();
@@ -102,8 +151,12 @@ bool EventQueue::RefillFine() {
     if (coarse_count_ > 0) {
       // Slide the region forward; dump the next coarse slot we reach.
       // Every coarse entry lies ahead of region_ and every slot we pass
-      // is drained, so the scan meets the earliest one first.
+      // is drained, so the scan meets the earliest one first.  Crossing
+      // into a new super block first merges that block's super entries
+      // into the coarse window (they share the window with entries
+      // inserted after it moved here — no aliasing, same 1024 regions).
       ++region_;
+      MaybeEnterSuperBlock();
       fine_cursor_ = region_ << (kCoarseShift - kFineShift);
       std::vector<Entry>& slot = coarse_slots_[region_ & kCoarseMask];
       if (!slot.empty()) {
@@ -115,6 +168,22 @@ bool EventQueue::RefillFine() {
       }
       continue;  // Cascade again: the window gained a slot at the far end.
     }
+    if (super_count_ > 0) {
+      // Coarse window fully drained: jump to the next non-empty super
+      // slot (blocks cover disjoint, increasing time ranges, so the
+      // first non-empty one holds the earliest super entry) and dump it.
+      // An overflow entry may lie before this block — the peek always
+      // compares the overflow top, so nothing behind is ever lost.
+      uint64_t s = super_pos_;
+      do {
+        ++s;
+      } while (super_slots_[s & kSuperMask].empty());
+      region_ = s << kSuperRegionShift;
+      super_pos_ = s;
+      fine_cursor_ = region_ << (kCoarseShift - kFineShift);
+      DumpSuperSlot();
+      continue;
+    }
     if (overflow_.empty()) {
       return false;
     }
@@ -124,9 +193,10 @@ bool EventQueue::RefillFine() {
       // cannot enter the wheel but wins the peek comparison directly.
       return false;
     }
-    // Wheels fully drained and the next work is beyond the coarse
+    // Wheels fully drained and the next work is beyond the super
     // horizon: jump the window to it (nothing behind can be stranded).
     region_ = region;
+    super_pos_ = region_ >> kSuperRegionShift;
     fine_cursor_ = region_ << (kCoarseShift - kFineShift);
   }
 }
@@ -212,6 +282,7 @@ bool EventQueue::Cancel(EventId id) {
   if (!live_.erase(id)) {
     return false;
   }
+  change_version_.fetch_add(1, std::memory_order_relaxed);
   // Storage bound: a cancel-heavy workload (keep-alive churn) must not
   // grow the structures — or the closures its tombstones own — without
   // limit.  Compact once tombstones outnumber live entries.
@@ -235,6 +306,11 @@ void EventQueue::Compact() {
     slot.erase(std::remove_if(slot.begin(), slot.end(), dead), slot.end());
     coarse_count_ -= before - slot.size();
   }
+  for (std::vector<Entry>& slot : super_slots_) {
+    const size_t before = slot.size();
+    slot.erase(std::remove_if(slot.begin(), slot.end(), dead), slot.end());
+    super_count_ -= before - slot.size();
+  }
   overflow_.erase(std::remove_if(overflow_.begin(), overflow_.end(), dead),
                   overflow_.end());
   std::make_heap(overflow_.begin(), overflow_.end(), Later{});
@@ -253,7 +329,26 @@ std::function<void()> EventQueue::TakePeeked() {
     now_ = top.when;
   }
   ++processed_;
+  change_version_.fetch_add(1, std::memory_order_relaxed);
   return std::move(top.fn);
+}
+
+bool EventQueue::PeekNext(TimeNs* when, uint64_t* seq) {
+  MutexLock lock(&mu_);
+  const Entry* e = PeekEarliestLive();
+  if (e == nullptr) {
+    return false;
+  }
+  *when = e->when;
+  *seq = e->seq;
+  return true;
+}
+
+void EventQueue::SyncNow(TimeNs t) {
+  MutexLock lock(&mu_);
+  if (now_ < t) {
+    now_ = t;
+  }
 }
 
 bool EventQueue::RunOne() {

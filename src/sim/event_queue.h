@@ -12,7 +12,12 @@
 //     work (upfront trace arrivals, keep-alive timers) lands here O(1)
 //     and cascades into the fine wheel one region at a time, lazily, as
 //     the clock reaches it;
-//   * overflow heap — anything beyond the coarse horizon, plus entries
+//   * super wheel — ~36.6 min slots over the next ~26 days; multi-hour
+//     traces (the sharded fleet sweeps) land their far arrivals here
+//     O(1) and each slot is dumped into the coarse window when the
+//     clock enters its block, so long traces no longer pile the whole
+//     tail onto the overflow heap;
+//   * overflow heap — anything beyond the super horizon, plus entries
 //     scheduled behind an already-advanced region; rare, and always
 //     consulted by the peek so order can never be lost.
 // Firing order is a pure function of (timestamp, global scheduling
@@ -22,6 +27,7 @@
 #ifndef SQUEEZY_SIM_EVENT_QUEUE_H_
 #define SQUEEZY_SIM_EVENT_QUEUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -143,6 +149,11 @@ class EventQueue {
   enum class Impl {
     kTimerWheel,  // Hierarchical wheel + overflow heap (default).
     kBinaryHeap,  // The pre-wheel single priority queue (bench baseline).
+    // Per-host wheel shards driven in deterministic lockstep epochs.
+    // Interpreted by the Cluster (src/sim/sharded_event_queue.h), not by
+    // EventQueue itself — a queue constructed with kSharded is a plain
+    // wheel (each shard of a ShardedEventQueue is one).
+    kSharded,
   };
 
   EventQueue() : EventQueue(Impl::kTimerWheel) {}
@@ -182,6 +193,33 @@ class EventQueue {
   // `max_events` guards against runaway self-rescheduling loops.
   void RunAll(uint64_t max_events = 50'000'000) SQZ_EXCLUDES(mu_);
 
+  // --- Sharded-coordinator primitives (src/sim/sharded_event_queue.h) ------
+  // The earliest live event's (when, seq) without running it; false when
+  // drained.  Prunes tombstones and positions the scan cursor, so
+  // repeated peeks on an unchanged queue are cheap (pair with
+  // change_version() to skip re-peeking unchanged shards entirely).
+  bool PeekNext(TimeNs* when, uint64_t* seq) SQZ_EXCLUDES(mu_);
+  // Pops and runs the earliest live event (handler invoked unlocked);
+  // false when drained.  The coordinator's (when, seq) merge primitive.
+  bool RunOne() SQZ_EXCLUDES(mu_);
+  // Advances the clock to `t` when behind, without running events — the
+  // epoch-barrier clock sync.  Unlike AdvanceBy it is idempotent and
+  // never moves the clock backwards.  Contract: the caller has already
+  // drained every event earlier than `t` (the coordinator's RunUntil(t-1)
+  // phase); events pending at exactly `t` still fire normally.
+  void SyncNow(TimeNs t) SQZ_EXCLUDES(mu_);
+  // Draws scheduling sequence numbers from `source` instead of the
+  // internal counter.  Every shard of a ShardedEventQueue shares one
+  // source, so (when, seq) totally orders events fleet-wide and the
+  // barrier merge is deterministic.  Set before any event is scheduled.
+  void SetSequenceSource(std::atomic<uint64_t>* source) SQZ_EXCLUDES(mu_);
+  // Monotone counter bumped by every mutation that can change the
+  // earliest pending event (schedule, cancel, pop).  The coordinator
+  // caches PeekNext() per shard and re-peeks only on a version change.
+  uint64_t change_version() const {
+    return change_version_.load(std::memory_order_relaxed);
+  }
+
   bool empty() const SQZ_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return live_.empty();
@@ -220,14 +258,21 @@ class EventQueue {
 
   // Wheel geometry.  Fine: 2^21 ns (~2.1 ms) ticks, 1024 slots — one
   // region spans 2^31 ns (~2.15 s).  Coarse: one slot per region, 1024
-  // slots (~36.6 min horizon).  The fine region always covers exactly
-  // the coarse tick `region_`.
+  // slots (~36.6 min horizon).  Super: one slot per 1024-region block
+  // (2^41 ns ≈ 36.6 min each), 1024 slots — ~26 day horizon.  The fine
+  // region always covers exactly the coarse tick `region_`, and the
+  // coarse window always starts inside the super block `super_pos_`.
   static constexpr int kFineShift = 21;
   static constexpr int kCoarseShift = 31;
+  static constexpr int kSuperShift = 41;
   static constexpr uint64_t kFineSlots = 1024;
   static constexpr uint64_t kFineMask = kFineSlots - 1;
   static constexpr uint64_t kCoarseSlots = 1024;
   static constexpr uint64_t kCoarseMask = kCoarseSlots - 1;
+  static constexpr uint64_t kSuperSlots = 1024;
+  static constexpr uint64_t kSuperMask = kSuperSlots - 1;
+  // Regions per super block: super index = region >> kSuperRegionShift.
+  static constexpr int kSuperRegionShift = kSuperShift - kCoarseShift;
   static uint64_t FineTickOf(TimeNs when) {
     return static_cast<uint64_t>(when) >> kFineShift;
   }
@@ -248,10 +293,19 @@ class EventQueue {
   // them there.
   void CascadeOverflow() SQZ_REQUIRES(mu_);
   // Refills the empty fine wheel: cascades overflow, then advances (or
-  // jumps) the region to the next non-empty coarse slot and dumps it.
-  // Returns whether the fine wheel is non-empty afterwards; false means
-  // the only remaining entries (if any) sit in the overflow heap.
+  // jumps) the region to the next non-empty coarse slot and dumps it;
+  // when the coarse window drains too, jumps to the next non-empty super
+  // slot and dumps that block into the coarse window first.  Returns
+  // whether the fine wheel is non-empty afterwards; false means the only
+  // remaining entries (if any) sit in the overflow heap.
   bool RefillFine() SQZ_REQUIRES(mu_);
+  // Dumps super slot `super_pos_` into the fine/coarse window.  Caller
+  // has just positioned region_ at the block's first region, so every
+  // entry in the slot fits the coarse window (or the fine region).
+  void DumpSuperSlot() SQZ_REQUIRES(mu_);
+  // After region_ advanced: if it crossed into a new super block, move
+  // super_pos_ with it and dump the block's slot into the window.
+  void MaybeEnterSuperBlock() SQZ_REQUIRES(mu_);
   // Prunes cancelled tombstones, positions the fine cursor at the
   // wheel's earliest entry, and returns the earliest live entry (wheel
   // vs overflow decided by (when, seq)) — or nullptr when drained.
@@ -264,10 +318,8 @@ class EventQueue {
   std::function<void()> TakePeeked() SQZ_REQUIRES(mu_);
   // Drops every tombstone from the wheels and overflow (storage bound).
   void Compact() SQZ_REQUIRES(mu_);
-  // Pops and runs the earliest live event; returns false when empty.
-  bool RunOne() SQZ_EXCLUDES(mu_);
   size_t StoredEntriesLocked() const SQZ_REQUIRES(mu_) {
-    return fine_count_ + coarse_count_ + overflow_.size();
+    return fine_count_ + coarse_count_ + super_count_ + overflow_.size();
   }
 
   // Guards every piece of queue state below.  mutable: const observers
@@ -275,20 +327,30 @@ class EventQueue {
   mutable Mutex mu_;
   TimeNs now_ SQZ_GUARDED_BY(mu_) = 0;
   uint64_t next_seq_ SQZ_GUARDED_BY(mu_) = 1;
+  // Shared fleet-wide sequence source (sharded mode); null = next_seq_.
+  std::atomic<uint64_t>* seq_source_ SQZ_GUARDED_BY(mu_) = nullptr;
   EventId next_id_ SQZ_GUARDED_BY(mu_) = 1;
   uint64_t processed_ SQZ_GUARDED_BY(mu_) = 0;
+  // Bumped on schedule/cancel/pop; read unlocked by the coordinator
+  // between epochs (never concurrently with this shard's phase).
+  std::atomic<uint64_t> change_version_{0};
   const bool use_wheel_ = true;  // Set at construction, immutable after.
   bool peek_overflow_ SQZ_GUARDED_BY(mu_) = false;
   // Coarse tick covered by the fine wheel.
   uint64_t region_ SQZ_GUARDED_BY(mu_) = 0;
+  // Super block containing region_ (invariant: region_ >> kSuperRegionShift).
+  uint64_t super_pos_ SQZ_GUARDED_BY(mu_) = 0;
   // Fine-tick scan position within region_.
   uint64_t fine_cursor_ SQZ_GUARDED_BY(mu_) = 0;
   size_t fine_count_ SQZ_GUARDED_BY(mu_) = 0;    // Entries across fine slots.
   size_t coarse_count_ SQZ_GUARDED_BY(mu_) = 0;  // Entries across coarse slots.
+  size_t super_count_ SQZ_GUARDED_BY(mu_) = 0;   // Entries across super slots.
   // Min-heaps by (when, seq).
   std::vector<std::vector<Entry>> fine_slots_ SQZ_GUARDED_BY(mu_);
   // Unsorted buckets.
   std::vector<std::vector<Entry>> coarse_slots_ SQZ_GUARDED_BY(mu_);
+  // Unsorted buckets, one per 1024-region block.
+  std::vector<std::vector<Entry>> super_slots_ SQZ_GUARDED_BY(mu_);
   // Min-heap by (when, seq).
   std::vector<Entry> overflow_ SQZ_GUARDED_BY(mu_);
   // Ids issued and neither run nor cancelled yet.  Ids are unique and

@@ -1,0 +1,217 @@
+#include "src/sim/sharded_event_queue.h"
+
+#include <cassert>
+
+namespace squeezy {
+
+ShardedEventQueue::ShardedEventQueue(size_t nr_shards, size_t threads,
+                                     bool serial_lockstep)
+    : serial_lockstep_(serial_lockstep), global_(EventQueue::Impl::kTimerWheel) {
+  assert(nr_shards > 0);
+  shards_.reserve(nr_shards);
+  for (size_t i = 0; i < nr_shards; ++i) {
+    shards_.push_back(std::make_unique<EventQueue>(EventQueue::Impl::kTimerWheel));
+    shards_.back()->SetSequenceSource(&seq_);
+  }
+  global_.SetSequenceSource(&seq_);
+  next_.resize(nr_shards + 1);
+  // Serial lockstep never hands work to the pool, so don't spawn one.
+  if (!serial_lockstep_ && threads > 1) {
+    workers_.reserve(threads - 1);
+    for (size_t t = 1; t < threads; ++t) {
+      workers_.emplace_back([this, t] { WorkerLoop(t); });
+    }
+  }
+}
+
+ShardedEventQueue::~ShardedEventQueue() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    stop_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void ShardedEventQueue::RefreshChanged() {
+  for (size_t q = 0; q < next_.size(); ++q) {
+    Next& n = next_[q];
+    const uint64_t v = queue(q).change_version();
+    if (n.known && n.version == v) {
+      continue;  // Unchanged since the last peek: cache still exact.
+    }
+    n.known = true;
+    n.version = v;
+    n.valid = queue(q).PeekNext(&n.when, &n.seq);
+  }
+}
+
+int ShardedEventQueue::EarliestQueue() const {
+  int best = -1;
+  for (size_t q = 0; q < next_.size(); ++q) {
+    const Next& n = next_[q];
+    if (!n.valid) {
+      continue;
+    }
+    if (best < 0 || n.when < next_[static_cast<size_t>(best)].when ||
+        (n.when == next_[static_cast<size_t>(best)].when &&
+         n.seq < next_[static_cast<size_t>(best)].seq)) {
+      best = static_cast<int>(q);
+    }
+  }
+  return best;
+}
+
+void ShardedEventQueue::RunSerialLockstep(TimeNs deadline) {
+  // Every event is its own barrier: replay the exact single-queue
+  // (when, seq) order, syncing every clock to the event's instant first
+  // (handlers may read or schedule against ANY queue's clock — this is
+  // the mode for configurations whose hosts share registries).
+  for (;;) {
+    RefreshChanged();
+    const int q = EarliestQueue();
+    if (q < 0 || next_[static_cast<size_t>(q)].when > deadline) {
+      break;
+    }
+    const TimeNs t = next_[static_cast<size_t>(q)].when;
+    for (size_t i = 0; i < next_.size(); ++i) {
+      queue(i).SyncNow(t);
+    }
+    queue(static_cast<size_t>(q)).RunOne();
+  }
+  for (size_t i = 0; i < next_.size(); ++i) {
+    queue(i).SyncNow(deadline);
+  }
+}
+
+void ShardedEventQueue::RunParallelEpochs(TimeNs deadline) {
+  for (;;) {
+    RefreshChanged();
+    // The next cross-shard event is the epoch barrier; the deadline caps
+    // the last epoch.
+    TimeNs b = deadline;
+    const Next& g = next_[shards_.size()];
+    if (g.valid && g.when < b) {
+      b = g.when;
+    }
+    // Parallel phase: shards with work strictly before the barrier burn
+    // it down concurrently — shard-local by construction.
+    phase_shards_.clear();
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (next_[s].valid && next_[s].when < b) {
+        phase_shards_.push_back(s);
+      }
+    }
+    if (!phase_shards_.empty()) {
+      ParallelPhase(b - 1);
+    }
+    // Align every clock before the merge: barrier handlers route and
+    // adopt into arbitrary shards relative to those shards' clocks.
+    for (size_t q = 0; q < next_.size(); ++q) {
+      queue(q).SyncNow(b);
+    }
+    // Barrier merge: run everything pending at exactly `b` — mailbox and
+    // shards — one at a time in (when, seq) order.  Handlers may chain
+    // zero-delay events at `b` (onto any queue); the loop re-peeks via
+    // the version cache until the instant is fully drained.
+    for (;;) {
+      RefreshChanged();
+      const int q = EarliestQueue();
+      if (q < 0 || next_[static_cast<size_t>(q)].when > b) {
+        break;
+      }
+      assert(next_[static_cast<size_t>(q)].when == b);
+      queue(static_cast<size_t>(q)).RunOne();
+    }
+    if (b >= deadline) {
+      return;
+    }
+  }
+}
+
+void ShardedEventQueue::RunUntil(TimeNs deadline) {
+  if (serial_lockstep_) {
+    RunSerialLockstep(deadline);
+  } else {
+    RunParallelEpochs(deadline);
+  }
+}
+
+void ShardedEventQueue::RunAll() {
+  for (;;) {
+    RefreshChanged();
+    const int q = EarliestQueue();
+    if (q < 0) {
+      return;
+    }
+    RunUntil(next_[static_cast<size_t>(q)].when);
+  }
+}
+
+void ShardedEventQueue::ParallelPhase(TimeNs limit) {
+  if (workers_.empty()) {
+    for (const size_t s : phase_shards_) {
+      shards_[s]->RunUntil(limit);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    phase_limit_ = limit;
+    phase_done_ = 0;
+    ++phase_gen_;
+  }
+  pool_cv_.notify_all();
+  RunPhaseSlice(0);
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  ++phase_done_;
+  done_cv_.wait(lock, [this] { return phase_done_ == workers_.size() + 1; });
+}
+
+void ShardedEventQueue::RunPhaseSlice(size_t slice) {
+  const size_t stride = workers_.size() + 1;
+  for (size_t i = slice; i < phase_shards_.size(); i += stride) {
+    shards_[phase_shards_[i]]->RunUntil(phase_limit_);
+  }
+}
+
+void ShardedEventQueue::WorkerLoop(size_t slice) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      pool_cv_.wait(lock, [&] { return stop_ || phase_gen_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = phase_gen_;
+    }
+    RunPhaseSlice(slice);
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      ++phase_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+uint64_t ShardedEventQueue::processed_events() const {
+  uint64_t total = global_.processed_events();
+  for (const auto& s : shards_) {
+    total += s->processed_events();
+  }
+  return total;
+}
+
+std::vector<uint64_t> ShardedEventQueue::ShardProcessed() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    counts.push_back(s->processed_events());
+  }
+  return counts;
+}
+
+}  // namespace squeezy

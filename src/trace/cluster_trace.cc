@@ -42,6 +42,11 @@ std::vector<Invocation> GenerateClusterTrace(const ClusterTraceConfig& config,
       bcfg.mean_gap = Minutes(60);
     }
     streams.push_back(GenerateBurstyTrace(bcfg, seed));
+    if (config.arrival_quantum > 0) {
+      for (Invocation& inv : streams.back()) {
+        inv.at -= inv.at % config.arrival_quantum;
+      }
+    }
   }
   return MergeTraces(std::move(streams));
 }

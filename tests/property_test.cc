@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <ios>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -342,9 +344,13 @@ TEST_P(EventQueueWheelFuzzTest, WheelMatchesHeapReferenceExactly) {
         script.push_back({Op::kSchedule, Msec(rng.UniformInt(0, 2000)), next_tag++});
         break;
       }
-      case 4:
-      case 5: {  // Far-future: lands in overflow, cascades in later.
+      case 4: {  // Far-future: lands in the coarse wheel, cascades in later.
         script.push_back({Op::kSchedule, Sec(rng.UniformInt(3, 120)), next_tag++});
+        break;
+      }
+      case 5: {  // Multi-hour: beyond the ~36 min coarse horizon — lands
+                 // in the super wheel (or overflow past its ~26 day span).
+        script.push_back({Op::kSchedule, Minutes(rng.UniformInt(30, 2880)), next_tag++});
         break;
       }
       case 6:  // Same-instant pileup: the FIFO contract under load.
@@ -932,6 +938,163 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotMigrationFuzzTest,
                          [](const testing::TestParamInfo<uint64_t>& param_info) {
                            return "seed" + std::to_string(param_info.param);
                          });
+
+// --- Sharded kernel fuzz: per-host shards vs the single global queue ------------
+
+// The sharded kernel's whole contract is "bit-identical to the single
+// queue at any thread count" (src/sim/sharded_event_queue.h).  One random
+// churn script — drain/undrain/pressure-migrate while a skewed trace runs
+// — is replayed under the single-queue wheel and under kSharded at 1, 2
+// and 8 threads, with the shared registries both attached (serial
+// lockstep: handlers touch cross-host state) and detached (parallel
+// epochs: the fast path).  Every replay must produce a byte-identical
+// fleet digest: per-request firing logs, cold-start breakdowns, host
+// books, migration records, the routing hash and the fleet summary.
+class ShardedVsSingleQueueFuzzTest
+    : public testing::TestWithParam<std::tuple<bool /*registries*/, uint64_t /*seed*/>> {};
+
+namespace sharded_fuzz {
+
+// Byte-comparable dump of everything observable about a finished run.
+// Doubles print as hexfloat so equal digests mean bit-equal values.
+inline std::string FleetDigest(Cluster& cluster, TimeNs horizon) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  os << "hash " << cluster.routing_hash() << " unplaced "
+     << cluster.unplaced_invocations() << " migrated "
+     << cluster.migrated_instances() << " reaped "
+     << cluster.migration_reaped_instances() << " inflight "
+     << cluster.migrations_in_flight() << "\n";
+  for (const MigrationRecord& m : cluster.migrations()) {
+    os << "mig " << m.cluster_fn << " " << m.src_host << ">" << m.dst_host << " cap "
+       << m.captured << " ad " << m.adopted << " bytes " << m.bytes_sent << " down "
+       << m.downtime << " t " << m.started_at << ".." << m.done_at << "\n";
+  }
+  for (size_t h = 0; h < cluster.host_count(); ++h) {
+    const FaasRuntime& host = cluster.host(h);
+    os << "host " << h << " committed " << host.committed() << " populated "
+       << host.host().populated() << " routed " << cluster.routed_to(h) << " pending "
+       << host.total_pending_scaleups() << "\n";
+    for (size_t fn = 0; fn < host.function_count(); ++fn) {
+      const Agent& agent = host.agent(static_cast<int>(fn));
+      os << " fn " << fn << " spawns " << agent.total_spawns() << " evict "
+         << agent.total_evictions() << " live " << agent.live_instances() << "\n";
+      for (const RequestRecord& r : agent.requests()) {
+        os << "  req " << r.arrival << " " << r.done << " " << r.cold << "\n";
+      }
+      for (const ColdStartBreakdown& c : agent.cold_starts()) {
+        os << "  cold " << c.vmm << " " << c.container_init << " " << c.function_init
+           << " " << c.first_exec << "\n";
+      }
+    }
+  }
+  const FleetSummary s = cluster.Summarize(horizon);
+  os << "sum req " << s.completed_requests << " cold " << s.cold_starts << " evict "
+     << s.evictions << " pend " << s.pending_scaleups_total << " unplug "
+     << s.unplug_failures << " p50 " << s.latency_p50 << " p99 " << s.latency_p99
+     << " mean " << s.latency_mean << " peak " << s.committed_peak << " gibs "
+     << s.committed_gib_seconds << "\n";
+  return os.str();
+}
+
+// One full churn run: build the fleet, run the trace with random
+// drain/undrain/pressure churn, quiesce, digest.  Every input is a pure
+// function of (impl, threads, registries, seed) — and the digest must be
+// a pure function of (registries, seed) alone.
+inline std::string RunChurn(EventQueue::Impl impl, size_t threads, bool registries,
+                            uint64_t seed) {
+  constexpr int kFunctions = 4;
+  constexpr uint32_t kConcurrency = 8;
+  ClusterConfig cfg;
+  cfg.nr_hosts = 4;
+  cfg.placement = PlacementPolicy::kMemoryAwareBinPack;
+  cfg.migration = MigrationMode::kMigrateOnDrain;
+  cfg.pressure_migrate_min_pending = 1;
+  cfg.shared_dep_cache = registries;
+  cfg.shared_snapshots = registries;
+  cfg.queue_impl = impl;
+  cfg.sim_threads = threads;
+  cfg.host.policy = ReclaimPolicy::kSqueezy;
+  cfg.host.host_capacity = MiB(2560);
+  cfg.host.vm_base_memory = MiB(128);
+  cfg.host.keep_alive = Sec(30);
+  cfg.host.pressure_check_period = Msec(500);
+  cfg.host.seed = seed;
+  Cluster cluster(cfg);
+
+  FunctionSpec spec;
+  spec.name = "shard_fuzz";
+  spec.vcpu_shares = 1.0;
+  spec.memory_limit = MiB(256);
+  spec.anon_working_set = MiB(96);
+  spec.file_deps_bytes = MiB(64);
+  spec.container_init_cpu = Msec(80);
+  spec.function_init_cpu = Msec(120);
+  spec.exec_cpu_mean = Msec(100);
+  spec.exec_cv = 0.0;
+  for (int f = 0; f < kFunctions; ++f) {
+    cluster.AddFunction(spec, kConcurrency);
+  }
+
+  ClusterTraceConfig trace;
+  trace.duration = Minutes(4);
+  trace.nr_functions = kFunctions;
+  trace.total_base_rate_per_sec = 2.0;
+  trace.zipf_s = 1.2;
+  trace.bursty_fraction = 0.5;
+  trace.burst_multiplier = 30.0;
+  trace.mean_burst_len = Sec(20);
+  trace.mean_gap = Sec(60);
+  cluster.SubmitTrace(GenerateClusterTrace(trace, seed));
+
+  Rng rng(seed * 1099511628211ull + 29);
+  TimeNs t = 0;
+  for (int step = 0; step < 24; ++step) {
+    t += Sec(rng.UniformInt(2, 15));
+    cluster.RunUntil(t);
+    const size_t h = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(cluster.host_count()) - 1));
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        cluster.DrainHost(h);
+        break;
+      case 1:
+        cluster.UndrainHost(h);
+        break;
+      case 2:
+        cluster.MigratePressured();
+        break;
+      case 3:
+        break;  // Let the trace run.
+    }
+  }
+  cluster.RunAll();
+  return FleetDigest(cluster, Minutes(6));
+}
+
+}  // namespace sharded_fuzz
+
+TEST_P(ShardedVsSingleQueueFuzzTest, ShardedMatchesSingleQueueAtAnyThreadCount) {
+  const auto [registries, seed] = GetParam();
+  const std::string reference =
+      sharded_fuzz::RunChurn(EventQueue::Impl::kTimerWheel, 1, registries, seed);
+  for (const size_t threads : {1u, 2u, 8u}) {
+    const std::string sharded =
+        sharded_fuzz::RunChurn(EventQueue::Impl::kSharded, threads, registries, seed);
+    EXPECT_EQ(reference, sharded)
+        << "sharded kernel diverged from the single queue at " << threads
+        << " threads (registries " << (registries ? "on" : "off") << ", seed " << seed
+        << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, ShardedVsSingleQueueFuzzTest,
+    testing::Combine(testing::Bool(), testing::Values(1u, 2u, 3u)),
+    [](const testing::TestParamInfo<std::tuple<bool, uint64_t>>& param_info) {
+      return std::string(std::get<0>(param_info.param) ? "registries" : "plain") +
+             "_s" + std::to_string(std::get<1>(param_info.param));
+    });
 
 }  // namespace
 }  // namespace squeezy

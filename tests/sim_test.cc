@@ -395,6 +395,109 @@ TEST(EventQueueTest, CompactionPreservesFiringOrder) {
   }
 }
 
+TEST(EventQueueTest, SuperWheelOrdersMultiHourTimestamps) {
+  // Timestamps far beyond the coarse wheel's ~36 min horizon land in the
+  // third (super) wheel level; mixed near/coarse/super/overflow schedules
+  // must still fire in exact (when, seq) order.  Before the super level,
+  // every multi-hour event sat in the overflow heap — multi-hour traces
+  // degenerated to the pre-wheel kernel.
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<TimeNs> whens;
+  int tag = 0;
+  for (int i = 0; i < 40; ++i) {
+    whens.push_back(Msec(5 + 17 * i));             // Fine wheel.
+    whens.push_back(Sec(40) + Msec(13 * i));       // Coarse wheel.
+    whens.push_back(Minutes(90) + Sec(7 * i));     // Super wheel.
+    whens.push_back(Minutes(60 * 30) + Sec(3 * i));  // Deep super (30 h).
+  }
+  for (const TimeNs when : whens) {
+    const int t = tag++;
+    q.ScheduleAt(when, [&fired, t] { fired.push_back(t); });
+  }
+  q.RunAll();
+  ASSERT_EQ(fired.size(), whens.size());
+  std::vector<std::pair<TimeNs, int>> expect;
+  for (size_t i = 0; i < whens.size(); ++i) {
+    expect.push_back({whens[i], static_cast<int>(i)});
+  }
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(fired[i], expect[i].second) << i;
+  }
+  EXPECT_EQ(q.now(), whens.back());
+}
+
+TEST(EventQueueTest, SuperWheelHandlerChainsAcrossHorizons) {
+  // A handler firing hours in scheduling more work near and far keeps
+  // working: the super wheel dumps into coarse, coarse into fine, and
+  // freshly scheduled events route against the advanced cursor.
+  EventQueue q;
+  std::vector<std::pair<int, TimeNs>> fired;
+  q.ScheduleAt(Minutes(100), [&] {
+    fired.push_back({0, q.now()});
+    q.ScheduleAfter(Msec(2), [&] { fired.push_back({1, q.now()}); });
+    q.ScheduleAfter(Minutes(200), [&] { fired.push_back({2, q.now()}); });
+  });
+  q.ScheduleAt(Minutes(250), [&] { fired.push_back({3, q.now()}); });
+  q.RunAll();
+  ASSERT_EQ(fired.size(), 4u);
+  EXPECT_EQ(fired[0], (std::pair<int, TimeNs>{0, Minutes(100)}));
+  EXPECT_EQ(fired[1], (std::pair<int, TimeNs>{1, Minutes(100) + Msec(2)}));
+  EXPECT_EQ(fired[2], (std::pair<int, TimeNs>{3, Minutes(250)}));
+  EXPECT_EQ(fired[3], (std::pair<int, TimeNs>{2, Minutes(300)}));
+}
+
+TEST(EventQueueTest, SuperWheelCancelAndCompactStayBounded) {
+  // Cancel-heavy churn across all three wheel levels: lazy deletion plus
+  // compaction keeps storage proportional to live events even when the
+  // dead ones sit hours out.
+  EventQueue q;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 4096; ++i) {
+    const TimeNs when = Minutes(30 + i) + Msec(i);
+    ids.push_back(q.ScheduleAt(when, [&fired] { ++fired; }));
+    if (i % 2 == 1) {
+      ASSERT_TRUE(q.Cancel(ids.back()));
+    }
+    ASSERT_LE(q.stored_entries(), 2 * q.pending() + 64);
+  }
+  q.RunAll();
+  EXPECT_EQ(fired, 2048);
+  EXPECT_EQ(q.stored_entries(), 0u);
+}
+
+TEST(EventQueueTest, PeekNextAndSyncNowCoordinatorContract) {
+  // The sharded coordinator's primitives: PeekNext reports the exact
+  // (when, seq) head without running it, RunOne fires precisely one
+  // event, and SyncNow only ever moves the clock forward.
+  EventQueue q;
+  std::vector<int> fired;
+  q.ScheduleAt(Msec(5), [&] { fired.push_back(0); });
+  q.ScheduleAt(Msec(5), [&] { fired.push_back(1); });
+  q.ScheduleAt(Sec(2), [&] { fired.push_back(2); });
+  TimeNs when = 0;
+  uint64_t seq = 0;
+  ASSERT_TRUE(q.PeekNext(&when, &seq));
+  EXPECT_EQ(when, Msec(5));
+  const uint64_t first_seq = seq;
+  ASSERT_TRUE(q.RunOne());
+  EXPECT_EQ(fired, (std::vector<int>{0}));
+  ASSERT_TRUE(q.PeekNext(&when, &seq));
+  EXPECT_EQ(when, Msec(5));
+  EXPECT_GT(seq, first_seq);  // Same instant, later seq: FIFO tiebreak.
+  q.SyncNow(Sec(1));
+  EXPECT_EQ(q.now(), Sec(1));
+  q.SyncNow(Msec(1));  // Never backwards.
+  EXPECT_EQ(q.now(), Sec(1));
+  q.RunAll();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(q.PeekNext(&when, &seq));
+  EXPECT_FALSE(q.RunOne());
+}
+
 // --- CpuAccountant ----------------------------------------------------------------
 
 TEST(CpuAccountantTest, SingleWindowUtilization) {

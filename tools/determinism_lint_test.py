@@ -80,6 +80,15 @@ class BadFixtures(unittest.TestCase):
         # "%p" format string and streaming a void* cast.
         self.expect("bad_address_format.cc", "address-format", 2)
 
+    def test_thread_id_key(self):
+        # thread::id-keyed map, thread::id unordered_set, std::hash over it.
+        self.expect("bad_thread_id_key.cc", "thread-id-key", 3)
+
+    def test_unordered_mailbox(self):
+        # Flagged at the declaration: no iteration anywhere in the fixture.
+        self.expect("bad_unordered_mailbox.cc", "unordered-mailbox", 2)
+        self.expect("bad_unordered_mailbox.cc", "unordered-iteration", 0)
+
     def test_nolint_without_reason_is_rejected(self):
         self.expect("bad_nolint_missing_reason.cc", "nolint-missing-reason", 1)
         # The bare directive must NOT suppress the underlying finding's
@@ -92,6 +101,12 @@ class GoodFixtures(unittest.TestCase):
         code, lines = run_lint(
             "--root", TESTDATA, "--allowlist", EMPTY_ALLOWLIST,
             "good/good_clean.cc")
+        self.assertEqual(code, 0, lines)
+
+    def test_ordered_mailbox_passes(self):
+        code, lines = run_lint(
+            "--root", TESTDATA, "--allowlist", EMPTY_ALLOWLIST,
+            "good/good_mailbox.cc")
         self.assertEqual(code, 0, lines)
 
     def test_justified_nolint_suppresses(self):

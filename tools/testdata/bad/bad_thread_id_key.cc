@@ -1,0 +1,11 @@
+// Fixture: std::thread::id as a container key or hash input.  Thread ids
+// are OS-assigned and differ run to run, so anything keyed on them (event
+// attribution, per-worker stats that feed sim-visible output) diverges.
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <unordered_set>
+
+std::map<std::thread::id, uint64_t> events_by_thread;
+std::unordered_set<std::thread::id> seen_workers;
+using ThreadHasher = std::hash<std::thread::id>;

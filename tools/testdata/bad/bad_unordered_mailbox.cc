@@ -1,0 +1,14 @@
+// Fixture: cross-shard mailboxes declared as unordered containers.  The
+// drain order of cross-shard mail IS the determinism contract — an
+// unordered container is wrong at the declaration, before anyone even
+// iterates it (which is all the unordered-iteration rule would catch).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::unordered_map<int, std::vector<int>> shard_mailbox;
+std::unordered_set<uint64_t> cross_shard_pending;
+// A name with no mail semantics stays the unordered-iteration rule's
+// business (declaration alone is fine).
+std::unordered_map<int, int> plain_lookup;

@@ -1,0 +1,14 @@
+// Fixture: the sanctioned shapes for cross-shard mail — ordered
+// structures drain in a deterministic order by construction.
+#include <cstdint>
+#include <map>
+
+std::map<uint64_t, int> cross_shard_mailbox;
+
+int DrainMailbox() {
+  int sum = 0;
+  for (const auto& kv : cross_shard_mailbox) {
+    sum += kv.second;
+  }
+  return sum;
+}

@@ -24,6 +24,8 @@
 // Expected outcome printed by the table: Squeezy + MemBinPack admits >=
 // as many invocations as every other reclaim x placement combination,
 // with fleet p99 close to the unconstrained baseline.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
@@ -62,7 +64,23 @@ struct ComboResult {
   double setup_sec = 0;       // Cluster build + trace gen + SubmitTrace.
   double wall_sec = 0;        // Wall-clock spent inside RunUntil only.
   std::vector<uint64_t> shard_events;  // Per-shard counts (kSharded runs).
+  // Placement-path instrumentation (deterministic: identical under either
+  // placement_impl and any thread count, so all BENCH-safe).
+  uint64_t decisions = 0;          // Routing decisions the scheduler took.
+  uint64_t index_updates = 0;      // Host deltas the HostIndex absorbed.
+  size_t index_max_replicas = 0;   // Widest per-function candidate tree.
+  uint64_t memmap_peak_bytes = 0;  // Sum of per-VM extent-chunk peaks.
   FleetSummary fleet;
+
+  // Depth of the widest per-function ordered index — the comparisons one
+  // indexed placement decision costs, vs a full O(hosts) snapshot scan.
+  uint64_t index_depth() const {
+    uint64_t depth = 0;
+    for (size_t n = index_max_replicas; n > 0; n >>= 1) {
+      ++depth;
+    }
+    return depth;
+  }
 
   double events_per_sec() const {
     return wall_sec > 0 ? static_cast<double>(events) / wall_sec : 0.0;
@@ -85,11 +103,14 @@ struct ComboOpts {
   size_t sim_threads = 0;  // kSharded pool width; 0 = SQUEEZY_SIM_THREADS env.
   const ClusterTraceConfig* trace = nullptr;  // nullptr = fig12::TraceConfig().
   TimeNs horizon = kHorizon;
-  // Shard-sweep shrinkage (see fig12_config.h): nullptr/0 = the paper
+  // Shard-sweep sizing (see fig12_config.h): nullptr/0 = the paper
   // functions at the sweep's concurrency and default VM base.
   const std::vector<FunctionSpec>* functions = nullptr;
   uint32_t concurrency = kConcurrency;
   uint64_t vm_base = 0;
+  // Which placement machinery decides (identical decisions either way);
+  // kDefault = SQUEEZY_PLACEMENT_IMPL env, like sim_threads above.
+  PlacementImpl placement = PlacementImpl::kDefault;
 };
 
 ComboResult RunCombo(ReclaimPolicy reclaim, PlacementPolicy placement,
@@ -99,6 +120,7 @@ ComboResult RunCombo(ReclaimPolicy reclaim, PlacementPolicy placement,
   ClusterConfig cfg = fig12::SweepConfig(reclaim, placement, host_capacity, hosts);
   cfg.queue_impl = opts.impl;
   cfg.sim_threads = opts.sim_threads;
+  cfg.placement_impl = opts.placement;
   if (opts.vm_base > 0) {
     cfg.host.vm_base_memory = opts.vm_base;
   }
@@ -130,10 +152,29 @@ ComboResult RunCombo(ReclaimPolicy reclaim, PlacementPolicy placement,
   }
   r.fleet = cluster.Summarize(opts.horizon);
   r.admitted = trace.size() - r.fleet.unplaced_invocations;
+  r.decisions = cluster.scheduler().decisions();
+  const HostIndexStats index_stats = cluster.host_index().stats();
+  r.index_updates = index_stats.updates;
+  r.index_max_replicas = index_stats.max_fn_replicas;
+  for (size_t h = 0; h < cluster.host_count(); ++h) {
+    for (size_t fn = 0; fn < cluster.host(h).function_count(); ++fn) {
+      r.memmap_peak_bytes =
+          r.memmap_peak_bytes +
+          cluster.host(h).guest(static_cast<int>(fn)).memmap().materialized_peak_bytes();
+    }
+  }
   if (hints_fired != nullptr) {
     *hints_fired = cluster.scheduler().hints_fired();
   }
   return r;
+}
+
+// Process-wide peak RSS in MiB (ru_maxrss is KiB on Linux).  Monotonic
+// over the process lifetime and wall-clock-adjacent, so TIMING-only.
+double PeakRssMib() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
 }
 
 // Event-kernel throughput at fleet scale, isolated from handler work: a
@@ -646,11 +687,12 @@ int main() {
   // counts, routing hash — are thread-count-invariant; the identity gate
   // at kShardIdentityHosts replays the same run on the single-queue
   // wheel and requires bit-identical results.
-  std::cout << "\nSharded kernel scale-out (Squeezy + HintedBinPack, load scaled "
-               "with hosts):\n";
-  TablePrinter shard_scale({"Hosts", "Admitted", "PendingUps", "Events",
-                            "Balance%", "Ev/s"});
+  std::cout << "\nSharded kernel scale-out (Squeezy + HintedBinPack, paper-sized "
+               "functions, load scaled with hosts):\n";
+  TablePrinter shard_scale({"Hosts", "Admitted", "PendingUps", "Events", "Decisions",
+                            "IdxDepth", "MemMapGiB", "Balance%", "Ev/s"});
   bool sharded_identical = true;
+  bool placement_identical = true;
   const std::vector<FunctionSpec> shard_fns = fig12::ShardFunctions();
   for (const size_t hosts : fig12::kShardScaleHostCounts) {
     const ClusterTraceConfig shard_trace = fig12::ShardTraceConfig(hosts);
@@ -670,6 +712,10 @@ int main() {
          TablePrinter::Int(static_cast<int64_t>(sh.admitted)),
          TablePrinter::Int(static_cast<int64_t>(sh.fleet.pending_scaleups_total)),
          TablePrinter::Int(static_cast<int64_t>(sh.events)),
+         TablePrinter::Int(static_cast<int64_t>(sh.decisions)),
+         TablePrinter::Int(static_cast<int64_t>(sh.index_depth())),
+         TablePrinter::Num(static_cast<double>(sh.memmap_peak_bytes) /
+                           static_cast<double>(GiB(1))),
          TablePrinter::Num(sh.shard_balance_pct()),
          TablePrinter::Num(sh.events_per_sec(), 0)});
     const std::string tag = std::to_string(hosts) + "h";
@@ -677,9 +723,26 @@ int main() {
     json.Metric("shard_pending_" + tag, sh.fleet.pending_scaleups_total);
     json.Metric("shard_events_" + tag, sh.events);
     json.Metric("shard_balance_pct_" + tag, sh.shard_balance_pct());
+    // Placement-path instrumentation: how many routing decisions the row
+    // took, how many host deltas the index absorbed maintaining its
+    // trees, and the depth an indexed decision walks instead of scanning
+    // `hosts` snapshots.  All deterministic -> BENCH.
+    json.Metric("shard_route_decisions_" + tag, sh.decisions);
+    json.Metric("shard_index_updates_" + tag, sh.index_updates);
+    json.Metric("shard_index_depth_" + tag, sh.index_depth());
+    // Extent-MemMap footprint: peak materialized chunk bytes across every
+    // VM in the fleet (the flat page array made this hosts x guest span —
+    // the per-host figure is what lets paper-sized functions run at 1024
+    // hosts).  Deterministic -> BENCH.
+    const double memmap_peak_mib =
+        static_cast<double>(sh.memmap_peak_bytes) / static_cast<double>(MiB(1));
+    json.Metric("shard_memmap_peak_mib_" + tag, memmap_peak_mib);
+    json.Metric("shard_memmap_peak_per_host_mib_" + tag,
+                memmap_peak_mib / static_cast<double>(hosts));
     timing.Metric("shard_events_per_sec_" + tag, sh.events_per_sec());
     timing.Metric("shard_setup_sec_" + tag, sh.setup_sec);
     timing.Metric("shard_run_sec_" + tag, sh.wall_sec);
+    timing.Metric("process_peak_rss_mib_" + tag, PeakRssMib());
 
     if (hosts == fig12::kShardIdentityHosts) {
       // Per-shard event counts for the gate point (deterministic, so
@@ -742,9 +805,51 @@ int main() {
       timing.Metric("shard_events_per_sec_1t_" + tag, r1.events_per_sec());
       timing.Metric("shard_events_per_sec_4t_" + tag, r4.events_per_sec());
       timing.Metric("shard_thread_speedup_4t_" + tag, shard_speedup);
+
+      // Placement-impl identity gate: the indexed path must reproduce the
+      // full-snapshot scan BIT-IDENTICALLY — same admissions, same event
+      // stream, same order-sensitive routing hash, same fleet book.  Both
+      // legs are explicit (the env knob only picks the default), so this
+      // gate holds on every CI leg regardless of SQUEEZY_PLACEMENT_IMPL.
+      ComboOpts scan_opts = shard_opts;
+      scan_opts.placement = PlacementImpl::kScan;
+      ComboOpts idx_opts = shard_opts;
+      idx_opts.placement = PlacementImpl::kIndexed;
+      const ComboResult scan = RunCombo(ReclaimPolicy::kSqueezy,
+                                        PlacementPolicy::kHintedBinPack,
+                                        fig12::kShardHostCapacity, hosts,
+                                        nullptr, nullptr, scan_opts);
+      const ComboResult idx = RunCombo(ReclaimPolicy::kSqueezy,
+                                       PlacementPolicy::kHintedBinPack,
+                                       fig12::kShardHostCapacity, hosts,
+                                       nullptr, nullptr, idx_opts);
+      placement_identical =
+          scan.admitted == idx.admitted && scan.events == idx.events &&
+          scan.routing_hash == idx.routing_hash &&
+          scan.decisions == idx.decisions &&
+          scan.fleet.pending_scaleups_total == idx.fleet.pending_scaleups_total &&
+          scan.fleet.completed_requests == idx.fleet.completed_requests &&
+          scan.fleet.committed_peak == idx.fleet.committed_peak;
+      const double placement_speedup =
+          scan.events_per_sec() > 0 ? idx.events_per_sec() / scan.events_per_sec()
+                                    : 0.0;
+      std::cout << "Check: indexed placement bit-identical to snapshot scan at "
+                << hosts << " hosts -> " << (placement_identical ? "PASS" : "FAIL")
+                << " (" << scan.decisions << " decisions, index depth "
+                << idx.index_depth() << " vs scan width " << hosts << ")\n"
+                << "Indexed vs scan events/sec at " << hosts << " hosts: "
+                << Ratio(placement_speedup) << " ("
+                << TablePrinter::Num(scan.events_per_sec() / 1e6) << " -> "
+                << TablePrinter::Num(idx.events_per_sec() / 1e6)
+                << " M events/s, timing-sensitive, never gates)\n";
+      timing.Metric("placement_events_per_sec_scan_" + tag, scan.events_per_sec());
+      timing.Metric("placement_events_per_sec_indexed_" + tag, idx.events_per_sec());
+      timing.Metric("placement_indexed_speedup_" + tag, placement_speedup);
     }
   }
   shard_scale.Print(std::cout);
+  json.Text("placement_identical_results_check",
+            placement_identical ? "PASS" : "FAIL");
 
   // The event-kernel headline: queue-storm throughput at 64 hosts, wheel
   // vs the old heap, with no-op handlers so the measurement is the queue
@@ -788,7 +893,8 @@ int main() {
   std::cout << "CSV: bench_results/fig12_cluster_scale.csv\nJSON: " << json_path
             << "\nTiming: " << timing_path << "\n";
   return binpack_pass && hinted_pass && drain_pass && dep_pass && snap_pass &&
-                 snap_wire_pass && queue_identical && sharded_identical
+                 snap_wire_pass && queue_identical && sharded_identical &&
+                 placement_identical
              ? 0
              : 1;
 }

@@ -30,26 +30,29 @@ inline constexpr double kCapacityFraction = 0.62;
 inline constexpr size_t kScaleHostCounts[] = {4, 8, 16, 32, 64};
 inline constexpr size_t kQueueBenchHosts = 64;
 // Sharded-kernel scale-out: host counts beyond the single-queue sweep,
-// load scaled linearly with hosts up to the identity point (rate =
-// base * hosts / kHosts, capped at 256's) — beyond it the trace stays
-// fixed like the main scale sweep, because placement itself is an
-// O(hosts) scan per dispatch and scaling load *and* hosts would make
-// the sweep O(hosts^2) wall-clock.  Arrivals are quantized so
-// concurrent per-host work lands between cross-shard barriers in fat
-// parallel phases — still a pure function of (config, seed), so any
-// thread count fires the identical sequence.
+// load scaled linearly with hosts the WHOLE way (rate = base * hosts /
+// kHosts).  The former cap at the identity point existed because
+// placement was an O(hosts) snapshot scan per dispatch — scaling load
+// and hosts together made the sweep O(hosts^2) wall-clock; the indexed
+// placement path (src/cluster/host_index.*) decides in O(log hosts), so
+// the rows now measure a genuinely growing fleet serving genuinely
+// growing traffic.  Arrivals are quantized so concurrent per-host work
+// lands between cross-shard barriers in fat parallel phases — still a
+// pure function of (config, seed), so any thread count fires the
+// identical sequence.
 inline constexpr size_t kShardScaleHostCounts[] = {256, 512, 1024};
 inline constexpr size_t kShardIdentityHosts = 256;  // Sharded-vs-single gate.
 inline constexpr TimeNs kShardArrivalQuantum = Msec(1);
-// The sharded sweep replays a shorter trace on deliberately small
-// functions (below): the sweep measures kernel scaling, and sim-process
-// memory goes as hosts x VM guest span (the per-page memmap) — paper
-// footprints at 1024 hosts would need >200 GiB of page array.
+// The sharded rows run the PAPER-sized functions: the extent MemMap
+// materializes per-page chunks only where blocks are touched, so sim RSS
+// goes as the fleet's actually-faulted footprint, not hosts x guest span
+// (the flat per-page array needed >200 GiB at 1024 hosts — the reason
+// this sweep used to shrink functions to 64 MiB).
 inline constexpr TimeNs kShardDuration = Minutes(2);
 inline constexpr TimeNs kShardHorizon = Minutes(3);
 inline constexpr uint32_t kShardConcurrency = 2;
-inline constexpr uint64_t kShardVmBase = MiB(32);
-inline constexpr uint64_t kShardHostCapacity = GiB(1);
+inline constexpr uint64_t kShardVmBase = MiB(128);
+inline constexpr uint64_t kShardHostCapacity = GiB(4);
 
 inline ClusterTraceConfig TraceConfig() {
   ClusterTraceConfig t;
@@ -65,31 +68,19 @@ inline ClusterTraceConfig TraceConfig() {
 }
 
 // Trace for the sharded-kernel scale-out rows: same shape as the base
-// sweep, shorter, rate scaled with the fleet up to the identity point,
-// arrivals quantized.
+// sweep, shorter, rate scaled linearly with the fleet (no cap — see
+// kShardScaleHostCounts above), arrivals quantized.
 inline ClusterTraceConfig ShardTraceConfig(size_t hosts) {
-  const size_t load_hosts = hosts < kShardIdentityHosts ? hosts : kShardIdentityHosts;
   ClusterTraceConfig t = TraceConfig();
   t.duration = kShardDuration;
-  t.total_base_rate_per_sec *=
-      static_cast<double>(load_hosts) / static_cast<double>(kHosts);
+  t.total_base_rate_per_sec *= static_cast<double>(hosts) / static_cast<double>(kHosts);
   t.arrival_quantum = kShardArrivalQuantum;
   return t;
 }
 
-// The paper's four functions shrunk to kernel-bench size: the shard
-// sweep exercises event ordering and epoch structure, not footprint
-// realism, and per-page memmap state is what bounds fleet size in
-// sim-process RSS.
-inline std::vector<FunctionSpec> ShardFunctions() {
-  std::vector<FunctionSpec> fns = PaperFunctions();
-  for (FunctionSpec& f : fns) {
-    f.memory_limit = MiB(64);
-    f.anon_working_set = MiB(32);
-    f.file_deps_bytes = MiB(16);
-  }
-  return fns;
-}
+// The sharded rows run the paper's four functions at full size (the
+// extent MemMap keeps per-host sim RSS bounded by touched blocks).
+inline std::vector<FunctionSpec> ShardFunctions() { return PaperFunctions(); }
 
 // The sweep's cluster configuration (RunCombo).  The drain scenario
 // overrides unplug_timeout and migration mode on top of this.

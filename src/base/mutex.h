@@ -29,6 +29,14 @@
 //   * ShardedEventQueue::pool_mu_ (phase handoff) sits BELOW every
 //     EventQueue::mu_: it is taken only between phases, with no queue
 //     lock held, and no queue operation happens while holding it.
+//
+// Placement index (src/cluster/host_index.*) refinement:
+//   * HostIndex::mu_ is a LEAF: it ranks below every lock above (it may
+//     be acquired while Cluster::mu_, a scheduler/planner mu_, or host
+//     machinery is held — hosts push state deltas into the index from
+//     their mutation choke points, and the deciders query it mid-
+//     decision), and HostIndex never calls ANY other component while
+//     holding it, so no cycle is possible.
 #ifndef SQUEEZY_BASE_MUTEX_H_
 #define SQUEEZY_BASE_MUTEX_H_
 

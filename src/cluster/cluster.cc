@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <string_view>
 
 namespace squeezy {
 
@@ -23,9 +24,24 @@ size_t ResolveSimThreads(size_t configured) {
   return parsed > 1 ? static_cast<size_t>(parsed) : 1;
 }
 
+// Placement implementation for kDefault: the SQUEEZY_PLACEMENT_IMPL
+// environment knob (the CI matrix leg drives this), defaulting to the
+// indexed path.  Same resolution shape as ResolveSimThreads.
+PlacementImpl ResolvePlacementImpl(PlacementImpl configured) {
+  if (configured != PlacementImpl::kDefault) {
+    return configured;
+  }
+  const char* env = std::getenv("SQUEEZY_PLACEMENT_IMPL");
+  if (env != nullptr && std::string_view(env) == "scan") {
+    return PlacementImpl::kScan;
+  }
+  return PlacementImpl::kIndexed;
+}
+
 }  // namespace
 
-Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), placement_impl_(ResolvePlacementImpl(config.placement_impl)) {
   assert(config_.nr_hosts > 0);
   if (config_.queue_impl == EventQueue::Impl::kSharded) {
     // Hosts sharing a registry (dep cache / snapshot store) can touch
@@ -46,6 +62,12 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   if (config_.shared_snapshots) {
     snapshot_store_ = std::make_unique<SnapshotStore>(SnapshotStoreConfig{});
   }
+  // The candidate indexes are maintained in BOTH placement modes (hosts
+  // always notify), so index stats stay impl-independent — but only the
+  // indexed mode lets the deciders read them.
+  host_index_ = std::make_unique<HostIndex>(config_.nr_hosts);
+  const HostIndex* decide_index =
+      placement_impl_ == PlacementImpl::kIndexed ? host_index_.get() : nullptr;
   // The scheduler gets the narrow control plane, not the runtimes.
   std::vector<HostControl*> raw;
   raw.reserve(config_.nr_hosts);
@@ -59,11 +81,17 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
     if (snapshot_store_ != nullptr) {
       hosts_.back()->AttachSnapshotRegistry(snapshot_store_.get());
     }
+    host_index_->InitHost(h, hosts_.back()->committed(),
+                          hosts_.back()->host_capacity(),
+                          hosts_.back()->pending_scaleups(),
+                          hosts_.back()->draining());
+    hosts_.back()->AttachStateListener(this, h);
     raw.push_back(hosts_.back().get());
   }
   routed_.assign(config_.nr_hosts, 0);
-  scheduler_ = std::make_unique<ClusterScheduler>(config_.placement, raw);
-  planner_ = std::make_unique<MigrationPlanner>(std::move(raw), config_.host.cost);
+  scheduler_ = std::make_unique<ClusterScheduler>(config_.placement, raw, decide_index);
+  planner_ =
+      std::make_unique<MigrationPlanner>(std::move(raw), config_.host.cost, decide_index);
 }
 
 Cluster::~Cluster() = default;
@@ -92,6 +120,9 @@ int Cluster::AddFunction(const FunctionSpec& spec, uint32_t max_concurrency) {
   functions_.push_back(std::move(replicas));
   fn_plug_unit_.push_back(plug_unit);
   fn_dep_image_.push_back(img);
+  // Register the replica set with the candidate indexes before any
+  // routing decision for this function can arrive.
+  host_index_->RegisterFunction(cluster_fn, placed);
   return cluster_fn;
 }
 

@@ -31,6 +31,7 @@
 #include "src/base/mutex.h"
 #include "src/base/thread_annotations.h"
 #include "src/cluster/dep_cache.h"
+#include "src/cluster/host_index.h"
 #include "src/cluster/migration_planner.h"
 #include "src/cluster/scheduler.h"
 #include "src/faas/runtime.h"
@@ -84,6 +85,14 @@ struct ClusterConfig {
   // Any value yields bit-identical results — threads only change
   // wall-clock.
   size_t sim_threads = 0;
+  // Placement decision implementation: the incrementally-maintained
+  // HostIndex (kIndexed — O(log hosts) per route) or the original
+  // full-snapshot scan (kScan) retained as the bit-identical reference.
+  // kDefault resolves SQUEEZY_PLACEMENT_IMPL from the environment
+  // ("scan"/"indexed", defaulting to indexed).  Decisions are IDENTICAL
+  // either way (locked by IndexedVsScanPlacementFuzzTest and the fig12
+  // 256-host gate) — the knob only changes wall-clock.
+  PlacementImpl placement_impl = PlacementImpl::kDefault;
 };
 
 // Lock discipline: the cluster self-locks (`mu_`) around its routing and
@@ -93,7 +102,7 @@ struct ClusterConfig {
 // none of those layers ever calls back up into the Cluster — event
 // handlers the cluster schedules re-acquire `mu_` themselves (the queue
 // invokes them with its own lock released).
-class Cluster {
+class Cluster : private HostStateListener {
  public:
   explicit Cluster(const ClusterConfig& config);
   ~Cluster();
@@ -152,6 +161,13 @@ class Cluster {
   FaasRuntime& host(size_t h) { return *hosts_[h]; }
   const FaasRuntime& host(size_t h) const { return *hosts_[h]; }
   ClusterScheduler& scheduler() { return *scheduler_; }
+  // The placement candidate indexes (always maintained, in BOTH
+  // placement_impl modes — so index stats are impl-independent and the
+  // BENCH artifact byte-diffs across the CI placement legs).
+  const HostIndex& host_index() const { return *host_index_; }
+  // The implementation actually deciding placements after kDefault
+  // resolution (construction-time; fixed for the cluster's lifetime).
+  PlacementImpl placement_impl() const { return placement_impl_; }
   size_t function_count() const SQZ_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return functions_.size();
@@ -250,8 +266,18 @@ class Cluster {
   void Dispatch(int cluster_fn) SQZ_EXCLUDES(mu_);
   // Migrates every warm replica off host `src`; returns transfers started.
   size_t MigrateOff(size_t src) SQZ_REQUIRES(mu_);
+  // HostStateListener: hosts push (committed, pending, draining) deltas
+  // here at their mutation choke points.  Forwards straight into the
+  // leaf-locked HostIndex WITHOUT taking Cluster::mu_ — this runs from
+  // host context below the cluster in the lock order (often while a
+  // cluster method already holds mu_ further up the stack).
+  void OnHostState(size_t host, uint64_t committed, size_t pending_scaleups,
+                   bool draining) override {
+    host_index_->Update(host, committed, pending_scaleups, draining);
+  }
 
   const ClusterConfig config_;  // Immutable after construction.
+  const PlacementImpl placement_impl_;  // kDefault resolved; immutable.
   // Exactly one of the two kernels below is live.  kSharded builds the
   // per-host shard array + mailbox; every other impl builds one global
   // queue.  `events_` always points at the fleet-level queue (the
@@ -263,6 +289,9 @@ class Cluster {
   // and never reseated; the pointed-to objects self-lock.
   std::unique_ptr<DepCache> dep_cache_;  // Null unless shared_dep_cache.
   std::unique_ptr<SnapshotStore> snapshot_store_;  // Null unless shared_snapshots.
+  // Declared BEFORE hosts_: hosts notify the index through the listener,
+  // so it must outlive them (members destroy in reverse order).
+  std::unique_ptr<HostIndex> host_index_;
   std::vector<std::unique_ptr<FaasRuntime>> hosts_;
   std::unique_ptr<ClusterScheduler> scheduler_;
   std::unique_ptr<MigrationPlanner> planner_;

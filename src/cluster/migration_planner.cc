@@ -5,8 +5,9 @@
 
 namespace squeezy {
 
-MigrationPlanner::MigrationPlanner(std::vector<HostControl*> hosts, const CostModel& cost)
-    : hosts_(std::move(hosts)), cost_(cost) {
+MigrationPlanner::MigrationPlanner(std::vector<HostControl*> hosts, const CostModel& cost,
+                                   const HostIndex* index)
+    : hosts_(std::move(hosts)), cost_(cost), index_(index) {
   assert(!hosts_.empty());
 }
 
@@ -29,6 +30,21 @@ std::vector<size_t> MigrationPlanner::RankDestinations(
   for (size_t i = 0; i < replicas.size(); ++i) {
     const size_t h = replicas[i].host;
     if (h == src_host) {
+      continue;
+    }
+    if (index_ != nullptr) {
+      // Indexed: the cached row answers the filter (draining/headroom)
+      // and the committed score; only the residency/channel dimensions —
+      // narrow O(1) reads — go live to the host.
+      const HostIndex::HostRow row = index_->row(h);
+      if (row.draining || row.available() < unit_bytes) {
+        continue;  // Cannot take even one instance's commitment.
+      }
+      const HostControl* hc = hosts_[h];
+      cands.push_back(Candidate{i, row.available() >= wanted * unit_bytes,
+                                hc->DepImagePopulated(replicas[i].local_fn),
+                                hc->SnapshotRestorableFor(replicas[i].local_fn),
+                                hc->RestoresInFlight(), row.committed});
       continue;
     }
     const HostSnapshot s = hosts_[h]->Snapshot(replicas[i].local_fn);
@@ -76,6 +92,11 @@ std::vector<size_t> MigrationPlanner::RankDestinations(
 }
 
 int MigrationPlanner::MostPressuredHost(size_t min_pending) const {
+  if (index_ != nullptr) {
+    // The by-pressure tree's first non-draining entry IS the scan winner:
+    // max pending, ties to the lowest host index, -1 below the threshold.
+    return index_->MostPressured(min_pending);
+  }
   int victim = -1;
   size_t worst = 0;
   for (size_t h = 0; h < hosts_.size(); ++h) {

@@ -46,7 +46,12 @@ struct MigrationRecord {
 class MigrationPlanner {
  public:
   // `hosts` must outlive the planner (same contract as ClusterScheduler).
-  MigrationPlanner(std::vector<HostControl*> hosts, const CostModel& cost);
+  // With a non-null `index` (same lifetime/mirroring contract) the
+  // ranking filters and scores from the incrementally-maintained
+  // HostIndex rows plus narrow residency reads instead of materializing a
+  // HostSnapshot per candidate; decisions are identical.
+  MigrationPlanner(std::vector<HostControl*> hosts, const CostModel& cost,
+                   const HostIndex* index = nullptr);
 
   // Destination candidates for migrating `wanted` warm instances (of
   // `unit_bytes` each) off `src_host`: indices into `replicas` (the
@@ -104,6 +109,7 @@ class MigrationPlanner {
  private:
   const std::vector<HostControl*> hosts_;  // Pointer set fixed at construction.
   const CostModel cost_;                   // Immutable after construction.
+  const HostIndex* const index_;           // Null => full-scan reference path.
   // Guards the decision counter (the planner's only mutable state; the
   // ranking itself is a pure function of the snapshots it takes).
   mutable Mutex mu_;

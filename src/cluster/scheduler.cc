@@ -30,8 +30,21 @@ const char* MigrationModeName(MigrationMode m) {
   return "?";
 }
 
-ClusterScheduler::ClusterScheduler(PlacementPolicy policy, std::vector<HostControl*> hosts)
-    : policy_(policy), hosts_(std::move(hosts)) {
+const char* PlacementImplName(PlacementImpl impl) {
+  switch (impl) {
+    case PlacementImpl::kDefault:
+      return "Default";
+    case PlacementImpl::kScan:
+      return "Scan";
+    case PlacementImpl::kIndexed:
+      return "Indexed";
+  }
+  return "?";
+}
+
+ClusterScheduler::ClusterScheduler(PlacementPolicy policy, std::vector<HostControl*> hosts,
+                                   const HostIndex* index)
+    : policy_(policy), hosts_(std::move(hosts)), index_(index) {
   assert(!hosts_.empty());
 }
 
@@ -42,16 +55,30 @@ std::vector<size_t> ClusterScheduler::PlaceFunction(uint64_t boot_commit,
   fn_plug_unit_.push_back(plug_unit);
   replicas = std::min(std::max<size_t>(replicas, 1), hosts_.size());
   // Hard admission: only non-draining hosts that can commit the VM's boot
-  // footprint are candidates, judged from one snapshot each.  Fewer
-  // candidates than requested replicas degrades the replica count; zero
-  // candidates means the function is unplaceable (the cluster then
-  // rejects its invocations instead of crashing a host).
+  // footprint are candidates.  Fewer candidates than requested replicas
+  // degrades the replica count; zero candidates means the function is
+  // unplaceable (the cluster then rejects its invocations instead of
+  // crashing a host).  The indexed path pulls the candidate set from one
+  // by-available lower_bound; the scan reference judges every host from
+  // one snapshot each.  Both yield the same hosts in ascending index
+  // order with the same committed/available values.
   std::vector<size_t> order;
-  std::vector<HostSnapshot> snaps(hosts_.size());
-  for (size_t h = 0; h < hosts_.size(); ++h) {
-    snaps[h] = hosts_[h]->Snapshot();
-    if (!snaps[h].draining && snaps[h].available >= boot_commit) {
-      order.push_back(h);
+  std::vector<uint64_t> committed(hosts_.size(), 0);
+  std::vector<uint64_t> available(hosts_.size(), 0);
+  if (index_ != nullptr) {
+    for (const HostIndex::Candidate& c : index_->CandidatesByAvailable(boot_commit)) {
+      order.push_back(c.host);
+      committed[c.host] = c.committed;
+      available[c.host] = c.available;
+    }
+  } else {
+    for (size_t h = 0; h < hosts_.size(); ++h) {
+      const HostSnapshot s = hosts_[h]->Snapshot();
+      if (!s.draining && s.available >= boot_commit) {
+        order.push_back(h);
+        committed[h] = s.committed;
+        available[h] = s.available;
+      }
     }
   }
   if (order.empty()) {
@@ -79,7 +106,7 @@ std::vector<size_t> ClusterScheduler::PlaceFunction(uint64_t boot_commit,
     }
     case PlacementPolicy::kLeastCommitted:
       std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        return snaps[a].committed < snaps[b].committed;
+        return committed[a] < committed[b];
       });
       break;
     case PlacementPolicy::kMemoryAwareBinPack:
@@ -88,7 +115,7 @@ std::vector<size_t> ClusterScheduler::PlaceFunction(uint64_t boot_commit,
       // bases pack tightly and whole hosts stay free; boot-only hosts sort
       // last (most available first, to degrade gracefully).
       const uint64_t need = boot_commit + plug_unit;
-      auto fits = [&](size_t h) { return snaps[h].available >= need; };
+      auto fits = [&](size_t h) { return available[h] >= need; };
       std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
         const bool fa = fits(a);
         const bool fb = fits(b);
@@ -96,9 +123,9 @@ std::vector<size_t> ClusterScheduler::PlaceFunction(uint64_t boot_commit,
           return fa;
         }
         if (fa) {
-          return snaps[a].committed > snaps[b].committed;
+          return committed[a] > committed[b];
         }
-        return snaps[a].committed < snaps[b].committed;
+        return committed[a] < committed[b];
       });
       break;
     }
@@ -149,11 +176,61 @@ size_t ClusterScheduler::LeastCommittedOf(const std::vector<Replica>& replicas,
   return tied[RouteCursor(cluster_fn)++ % tied.size()];
 }
 
+const Replica& ClusterScheduler::RouteIndexed(int cluster_fn,
+                                              const std::vector<Replica>& replicas) {
+  switch (policy_) {
+    case PlacementPolicy::kRoundRobin: {
+      // Spread over the non-draining replicas (all of them when every
+      // host drains — routing must return something).  The index knows
+      // the eligible count and k-th member without touching a host.
+      const size_t eligible = index_->EligibleCount(cluster_fn);
+      if (eligible == 0) {
+        return replicas[RouteCursor(cluster_fn)++ % replicas.size()];
+      }
+      const size_t k = RouteCursor(cluster_fn)++ % eligible;
+      return replicas[index_->EligibleAt(cluster_fn, k)];
+    }
+    case PlacementPolicy::kLeastCommitted: {
+      const std::vector<size_t> tied = index_->LeastCommittedTied(cluster_fn);
+      return replicas[tied[RouteCursor(cluster_fn)++ % tied.size()]];
+    }
+    case PlacementPolicy::kMemoryAwareBinPack:
+    case PlacementPolicy::kHintedBinPack: {
+      // Most committed replica that can admit, probed in the index's
+      // (committed desc, replica asc) order — the scan's max-committed
+      // first-match — with only the narrow CanAdmitNow read going live to
+      // a host, and only until the first hit.
+      const int best = index_->FirstAdmittingByCommittedDesc(
+          cluster_fn, [&](size_t i) {
+            return hosts_[replicas[i].host]->CanAdmitNow(replicas[i].local_fn);
+          });
+      if (best < 0) {
+        // No replica admits: overflow onto the least committed one (its
+        // reclamation backlog is the smallest, so it unblocks first).
+        const std::vector<size_t> tied = index_->LeastCommittedTied(cluster_fn);
+        const size_t donor = tied[RouteCursor(cluster_fn)++ % tied.size()];
+        if (policy_ == PlacementPolicy::kHintedBinPack) {
+          const uint64_t unit = fn_plug_unit_[static_cast<size_t>(cluster_fn)];
+          hosts_[replicas[donor].host]->ProactiveReclaim(unit);
+          ++hints_fired_;
+        }
+        return replicas[donor];
+      }
+      return replicas[static_cast<size_t>(best)];
+    }
+  }
+  return replicas[0];
+}
+
 const Replica& ClusterScheduler::Route(int cluster_fn,
                                        const std::vector<Replica>& replicas) {
   assert(!replicas.empty());
   MutexLock lock(&mu_);
   ++decisions_;
+
+  if (index_ != nullptr) {
+    return RouteIndexed(cluster_fn, replicas);
+  }
 
   // One consistent snapshot per replica for this whole decision: committed,
   // pressure and admissibility are read together, never torn.  The

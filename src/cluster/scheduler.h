@@ -57,9 +57,25 @@
 
 #include "src/base/mutex.h"
 #include "src/base/thread_annotations.h"
+#include "src/cluster/host_index.h"
 #include "src/faas/host_control.h"
 
 namespace squeezy {
+
+// Which implementation backs the placement decisions:
+//   kScan    — the original full pass over every candidate HostSnapshot
+//              per decision, retained as the bit-identical reference;
+//   kIndexed — the incrementally-maintained HostIndex (O(log hosts) per
+//              decision; identical decisions, locked by fuzz + fig12).
+//   kDefault — resolve from the SQUEEZY_PLACEMENT_IMPL environment
+//              variable ("scan"/"indexed"), defaulting to kIndexed.
+enum class PlacementImpl : uint8_t {
+  kDefault,
+  kScan,
+  kIndexed,
+};
+
+const char* PlacementImplName(PlacementImpl impl);
 
 enum class PlacementPolicy : uint8_t {
   kRoundRobin,
@@ -101,8 +117,12 @@ struct Replica {
 // call back up into it.
 class ClusterScheduler {
  public:
-  // `hosts` must outlive the scheduler.
-  ClusterScheduler(PlacementPolicy policy, std::vector<HostControl*> hosts);
+  // `hosts` must outlive the scheduler.  With a non-null `index` (which
+  // must also outlive the scheduler and mirror these hosts) decisions run
+  // against the incrementally-maintained HostIndex instead of scanning a
+  // HostSnapshot per candidate — same decisions, O(log hosts) per route.
+  ClusterScheduler(PlacementPolicy policy, std::vector<HostControl*> hosts,
+                   const HostIndex* index = nullptr);
 
   // Registration: picks up to `replicas` distinct hosts for a function
   // whose VM commits `boot_commit` bytes at boot and `plug_unit` bytes per
@@ -137,10 +157,16 @@ class ClusterScheduler {
   size_t LeastCommittedOf(const std::vector<Replica>& replicas,
                           const std::vector<HostSnapshot>& snaps, int cluster_fn)
       SQZ_REQUIRES(mu_);
+  // Index-backed Route body: no snapshot vector is materialized — the
+  // candidate order comes from the HostIndex trees and only the narrow
+  // live reads a decision still needs (CanAdmitNow probes) touch hosts.
+  const Replica& RouteIndexed(int cluster_fn, const std::vector<Replica>& replicas)
+      SQZ_REQUIRES(mu_);
   size_t& RouteCursor(int cluster_fn) SQZ_REQUIRES(mu_);
 
   const PlacementPolicy policy_;           // Immutable after construction.
   const std::vector<HostControl*> hosts_;  // Pointer set fixed at construction.
+  const HostIndex* const index_;           // Null => full-scan reference path.
   mutable Mutex mu_;
   // Registration round-robin cursor, in STABLE host-index space: it
   // names the next host to start from, never a position in the filtered

@@ -73,6 +73,20 @@ struct HostSnapshot {
   size_t restores_in_flight = 0;
 };
 
+// Receives one delta per host-state change instead of polling snapshots.
+// A host fires it synchronously after ANY change to its committed book,
+// pending scale-up queue, or draining flag — the three quantities routing
+// ranks on — carrying the new absolute values (deltas are idempotent and
+// order-free to absorb).  This runs BELOW the cluster layers in the lock
+// order (src/base/mutex.h): implementations must only touch leaf-locked
+// state (the placement HostIndex) and never call back into the host.
+class HostStateListener {
+ public:
+  virtual ~HostStateListener() = default;
+  virtual void OnHostState(size_t host, uint64_t committed,
+                           size_t pending_scaleups, bool draining) = 0;
+};
+
 class HostControl {
  public:
   virtual ~HostControl() = default;
@@ -82,6 +96,39 @@ class HostControl {
   // function-agnostic snapshot.
   virtual HostSnapshot Snapshot(int local_fn) const = 0;
   HostSnapshot Snapshot() const { return Snapshot(-1); }
+
+  // --- Narrow single-field reads (the incremental-index fast path) ----------
+  // Each must equal the corresponding HostSnapshot field read at the same
+  // instant; the defaults derive them from Snapshot() so alternative
+  // HostControl implementations (mocks, remote agents) stay correct
+  // without overriding.  FaasRuntime overrides them with direct O(1)
+  // reads — the indexed placement path asks only for the fields a
+  // decision still needs live (admission probes, residency bits) after
+  // the HostIndex has pre-narrowed the candidates.
+  virtual bool CanAdmitNow(int local_fn) const {
+    return Snapshot(local_fn).can_admit;
+  }
+  virtual bool DepImagePopulated(int local_fn) const {
+    return Snapshot(local_fn).dep_image_populated;
+  }
+  virtual bool SnapshotRestorableFor(int local_fn) const {
+    return Snapshot(local_fn).snapshot_restorable;
+  }
+  virtual size_t RestoresInFlight() const {
+    return Snapshot(-1).restores_in_flight;
+  }
+
+  // Subscribes `listener` to this host's state deltas as `host_id` (one
+  // listener per host; the host immediately fires one delta with its
+  // current state so the listener starts exact).  Default: snapshots-only
+  // hosts simply never notify.
+  virtual void AttachStateListener(HostStateListener* listener, size_t host_id) {
+    if (listener != nullptr) {
+      const HostSnapshot snap = Snapshot(-1);
+      listener->OnHostState(host_id, snap.committed, snap.pending_scaleups,
+                            snap.draining);
+    }
+  }
 
   // Hint: return >= `bytes` of committed memory soon (evict idle
   // instances, drop slack buffers).  Returns the bytes expected from the

@@ -503,6 +503,7 @@ void FaasRuntime::StartUnplug(int fn) {
 void FaasRuntime::EnqueuePending(int fn, std::function<void(DurationNs)> ready) {
   ++pending_total_;
   pending_.push_back(PendingScaleUp{fn, std::move(ready)});
+  NotifyHostState();
 }
 
 void FaasRuntime::ArmPressureTick() { pressure_timer_.Start(); }
@@ -528,6 +529,7 @@ void FaasRuntime::TryServePending() {
       std::function<void(DurationNs)> ready = std::move(it->ready);
       const int fn = it->fn;
       it = pending_.erase(it);
+      NotifyHostState();
       PlugAndGrant(fn, vm(fn).plug_unit, std::move(ready));
     } else {
       ++it;  // FIFO with skip: smaller requests behind may still fit.
@@ -649,6 +651,38 @@ HostSnapshot FaasRuntime::Snapshot(int local_fn) const {
   return s;
 }
 
+bool FaasRuntime::DepImagePopulated(int local_fn) const {
+  if (local_fn < 0 || dep_registry_ == nullptr) {
+    return false;
+  }
+  const DepImageId img = vms_[static_cast<size_t>(local_fn)]->dep_image;
+  return img != kNoDepImage && dep_registry_->Populated(host_id_, img);
+}
+
+bool FaasRuntime::SnapshotRestorableFor(int local_fn) const {
+  if (local_fn < 0 || snap_registry_ == nullptr) {
+    return false;
+  }
+  const SnapshotId snap = vms_[static_cast<size_t>(local_fn)]->snapshot;
+  return snap != kNoSnapshot && snap_registry_->Recorded(snap);
+}
+
+void FaasRuntime::AttachStateListener(HostStateListener* listener, size_t host_id) {
+  state_listener_ = listener;
+  listener_host_ = host_id;
+  // Committed mutates ONLY inside HostMemory::TryReserve/
+  // ReleaseReservation; its observer turns both into deltas.
+  host_.set_commit_observer([this] { NotifyHostState(); });
+  NotifyHostState();  // Seed the listener with the current state.
+}
+
+void FaasRuntime::NotifyHostState() {
+  if (state_listener_ != nullptr) {
+    state_listener_->OnHostState(listener_host_, host_.committed(), pending_.size(),
+                                 draining_);
+  }
+}
+
 uint64_t FaasRuntime::ProactiveReclaim(uint64_t bytes) {
   ++proactive_reclaims_;
   return driver_->ProactiveReclaim(bytes);
@@ -659,6 +693,7 @@ void FaasRuntime::Drain() {
     return;
   }
   draining_ = true;
+  NotifyHostState();
   driver_->OnDrain();
   // Unreferenced dependency images go with the drain (instances still
   // finishing keep theirs referenced until the drain tick reaps them and
@@ -667,7 +702,10 @@ void FaasRuntime::Drain() {
   drain_timer_.Start();
 }
 
-void FaasRuntime::Undrain() { draining_ = false; }
+void FaasRuntime::Undrain() {
+  draining_ = false;
+  NotifyHostState();
+}
 
 ReplicaMigrationState FaasRuntime::EvictReplica(int local_fn) {
   VmBundle& b = vm(local_fn);

@@ -139,6 +139,18 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   // --- HostControl (the cluster-facing control plane) ------------------------------
   using HostControl::Snapshot;
   HostSnapshot Snapshot(int local_fn) const override;
+  // Narrow single-field reads: direct O(1) mirrors of the Snapshot fields
+  // the indexed placement path still checks live per decision.
+  bool CanAdmitNow(int local_fn) const override {
+    return local_fn >= 0 && CanAdmit(local_fn);
+  }
+  bool DepImagePopulated(int local_fn) const override;
+  bool SnapshotRestorableFor(int local_fn) const override;
+  size_t RestoresInFlight() const override { return restores_in_flight(); }
+  // Subscribes the cluster's state listener; fires one delta per change
+  // of committed/pending/draining from then on (NotifyHostState at the
+  // books' choke points plus the HostMemory commit observer).
+  void AttachStateListener(HostStateListener* listener, size_t host_id) override;
   uint64_t ProactiveReclaim(uint64_t bytes) override;
   void Drain() override;
   void Undrain() override;
@@ -289,6 +301,12 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   bool DrainTick();
   bool AnyLiveInstances() const;
 
+  // Pushes the current (committed, pending, draining) triple to the
+  // attached state listener.  Called at every choke point that mutates
+  // one of the three books: the HostMemory commit observer, the
+  // pending-queue push/erase, and Drain/Undrain.
+  void NotifyHostState();
+
   RuntimeConfig config_;
   CostModel cost_;
   std::unique_ptr<EventQueue> owned_events_;  // Null when the queue is injected.
@@ -312,6 +330,8 @@ class FaasRuntime : public HostControl, private ReclaimHost {
   TimeNs restore_busy_until_ = 0;
   std::vector<TimeNs> restore_ends_;
   bool draining_ = false;
+  HostStateListener* state_listener_ = nullptr;  // Null outside a cluster.
+  size_t listener_host_ = 0;  // This host's index at the listener.
   // Per-host periodic work, coalesced: each timer owns its closure once
   // and re-arms in place every pressure_check_period instead of
   // scheduling a fresh closure per tick per host (the fleet-scale event

@@ -425,11 +425,17 @@ BalloonOutcome GuestKernel::BalloonReclaim(uint64_t bytes, TimeNs now) {
 
 void GuestKernel::WarmAllHostBacking(TimeNs now) {
   uint64_t new_pages = 0;
-  for (Pfn pfn = 0; pfn < memmap_->span_pages(); ++pfn) {
-    Page& p = memmap_->page(pfn);
-    if (p.state != PageState::kHole && !p.host_populated) {
-      p.host_populated = true;
-      ++new_pages;
+  for (BlockIndex b = 0; b < memmap_->block_count(); ++b) {
+    if (!memmap_->BlockMaterialized(b)) {
+      continue;  // Nothing but default holes: no backing to warm.
+    }
+    const Pfn start = MemMap::BlockStart(b);
+    for (Pfn pfn = start; pfn < start + kPagesPerBlock; ++pfn) {
+      Page& p = memmap_->page(pfn);
+      if (p.state != PageState::kHole && !p.host_populated) {
+        p.host_populated = true;
+        ++new_pages;
+      }
     }
   }
   if (new_pages > 0) {

@@ -84,6 +84,7 @@ class GuestKernel : public OwnerRegistry, public VirtioMemHooks {
 
   // --- Topology --------------------------------------------------------------
   MemMap& memmap() { return *memmap_; }
+  const MemMap& memmap() const { return *memmap_; }
   Zone& normal_zone() { return *normal_zone_; }
   Zone& movable_zone() { return *movable_zone_; }
   // Creates an extra zone (Squeezy partitions).  The kernel owns it.

@@ -15,6 +15,9 @@ bool HostMemory::TryReserve(uint64_t bytes, TimeNs now) {
   }
   committed_ += bytes;
   committed_series_.Push(now, static_cast<double>(committed_));
+  if (commit_observer_) {
+    commit_observer_();
+  }
   return true;
 }
 
@@ -22,6 +25,9 @@ void HostMemory::ReleaseReservation(uint64_t bytes, TimeNs now) {
   assert(committed_ >= bytes);
   committed_ -= bytes;
   committed_series_.Push(now, static_cast<double>(committed_));
+  if (commit_observer_) {
+    commit_observer_();
+  }
 }
 
 void HostMemory::Populate(uint64_t bytes, TimeNs now) {

@@ -10,6 +10,8 @@
 #define SQUEEZY_HOST_HOST_MEMORY_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "src/metrics/time_series.h"
 #include "src/sim/time.h"
@@ -31,6 +33,14 @@ class HostMemory {
   // Releases commitment (unplug completed / VM shut down).
   void ReleaseReservation(uint64_t bytes, TimeNs now);
 
+  // Fired synchronously after every successful TryReserve and every
+  // ReleaseReservation — the committed book's ONLY two mutation points —
+  // so an incremental consumer (the cluster HostIndex) tracks committed
+  // by delta instead of polling.
+  void set_commit_observer(std::function<void()> observer) {
+    commit_observer_ = std::move(observer);
+  }
+
   void Populate(uint64_t bytes, TimeNs now);
   void Unpopulate(uint64_t bytes, TimeNs now);
 
@@ -44,6 +54,7 @@ class HostMemory {
   uint64_t populated_peak_ = 0;
   StepSeries committed_series_;
   StepSeries populated_series_;
+  std::function<void()> commit_observer_;
 };
 
 }  // namespace squeezy

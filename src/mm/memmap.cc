@@ -8,16 +8,34 @@ MemMap::MemMap(uint64_t span_bytes) {
   const uint64_t blocks = BytesToBlocks(span_bytes);
   assert(blocks > 0);
   assert(blocks * kPagesPerBlock < kInvalidPfn);
-  pages_.resize(blocks * kPagesPerBlock);
+  span_pages_ = blocks * kPagesPerBlock;
+  chunks_.resize(blocks);
   blocks_.assign(blocks, BlockState::kAbsent);
   allocated_per_block_.assign(blocks, 0);
 }
 
+const Page& MemMap::HolePage() {
+  // Never written: const page() hands it out for absent chunks only, and
+  // every mutable access goes through the materializing overload.
+  static const Page kHole{};
+  return kHole;
+}
+
+Page* MemMap::Materialize(BlockIndex b) {
+  assert(chunks_[b] == nullptr);
+  // Value-initialization: every page starts as Page{} — state kHole,
+  // nothing populated — exactly the flat array's initial state.
+  chunks_[b] = std::make_unique<Page[]>(kPagesPerBlock);
+  ++materialized_;
+  materialized_peak_ = materialized_ > materialized_peak_ ? materialized_ : materialized_peak_;
+  return chunks_[b].get();
+}
+
 void MemMap::InitBlock(BlockIndex b) {
   assert(blocks_[b] == BlockState::kAbsent);
-  const Pfn start = BlockStart(b);
-  for (Pfn pfn = start; pfn < start + kPagesPerBlock; ++pfn) {
-    Page& p = pages_[pfn];
+  Page* chunk = chunks_[b] != nullptr ? chunks_[b].get() : Materialize(b);
+  for (uint32_t i = 0; i < kPagesPerBlock; ++i) {
+    Page& p = chunk[i];
     assert(p.state == PageState::kHole);
     p = Page{};
     p.state = PageState::kOffline;
@@ -27,9 +45,12 @@ void MemMap::InitBlock(BlockIndex b) {
 
 void MemMap::TeardownBlock(BlockIndex b) {
   assert(blocks_[b] == BlockState::kOffline || blocks_[b] == BlockState::kPresent);
-  const Pfn start = BlockStart(b);
-  for (Pfn pfn = start; pfn < start + kPagesPerBlock; ++pfn) {
-    Page& p = pages_[pfn];
+  // A block in either state went through InitBlock, so its chunk exists.
+  Page* chunk = chunks_[b].get();
+  assert(chunk != nullptr);
+  bool any_populated = false;
+  for (uint32_t i = 0; i < kPagesPerBlock; ++i) {
+    Page& p = chunk[i];
     assert(p.state == PageState::kOffline);
     // Host population survives guest-side teardown only conceptually; the
     // hypervisor clears it via madvise when it reclaims the range.
@@ -37,15 +58,28 @@ void MemMap::TeardownBlock(BlockIndex b) {
     p = Page{};
     p.state = PageState::kHole;
     p.host_populated = populated;
+    any_populated = any_populated || populated;
   }
   blocks_[b] = BlockState::kAbsent;
+  if (!any_populated) {
+    // Every page is back to the default-hole state the const accessor
+    // synthesizes — drop the chunk and return its sim memory (the
+    // hypervisor's HotRemoveBlock clears host_populated before tearing
+    // down, so real unplugs always take this path).
+    chunks_[b].reset();
+    --materialized_;
+  }
 }
 
 uint64_t MemMap::CountBlockPages(BlockIndex b, PageState state) const {
-  const Pfn start = BlockStart(b);
+  const Page* chunk = chunks_[b].get();
+  if (chunk == nullptr) {
+    // Unmaterialized: kPagesPerBlock default holes.
+    return state == PageState::kHole ? kPagesPerBlock : 0;
+  }
   uint64_t n = 0;
-  for (Pfn pfn = start; pfn < start + kPagesPerBlock; ++pfn) {
-    if (pages_[pfn].state == state) {
+  for (uint32_t i = 0; i < kPagesPerBlock; ++i) {
+    if (chunk[i].state == state) {
       ++n;
     }
   }
@@ -54,10 +88,13 @@ uint64_t MemMap::CountBlockPages(BlockIndex b, PageState state) const {
 
 Pfn MemMap::FolioHead(Pfn pfn) const {
   // Walk down to the aligned head: heads are naturally aligned, so clear
-  // low bits until we find the flagged head page.
+  // low bits until we find the flagged head page.  (Folios never span
+  // blocks — kMaxPageOrder < log2(kPagesPerBlock) — so all candidates hit
+  // the same chunk; on an absent chunk every candidate reads as an
+  // unflagged hole and the walk asserts, same as the flat array.)
   for (uint8_t order = 0; order <= kMaxPageOrder; ++order) {
     const Pfn candidate = pfn & ~((1u << order) - 1);
-    if (pages_[candidate].head) {
+    if (page(candidate).head) {
       return candidate;
     }
   }

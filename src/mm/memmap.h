@@ -1,10 +1,32 @@
-// The guest memory map: a flat `struct page` array over the managed guest
-// physical span plus the hotplug memory-block state machine (Linux adds
-// and removes memory in 128 MiB blocks on x86).
+// The guest memory map: per-page `struct page` state over the managed
+// guest physical span plus the hotplug memory-block state machine (Linux
+// adds and removes memory in 128 MiB blocks on x86).
+//
+// Extent representation: the per-page array is materialized LAZILY, one
+// 128 MiB-block chunk at a time, only where pages are actually touched.
+// A serverless guest's span is dominated by the hotplug region sized for
+// peak concurrency — mostly permanent holes at paper footprints — and the
+// flat array made that slack the dominant per-host sim RSS (~205 MiB/host
+// at paper sizes, the reason the fig12 shard sweep had to shrink
+// functions).  Unmaterialized chunks read as default pages (kHole,
+// nothing populated) through the const accessor; the first write
+// materializes the chunk (value-initialized, so reads-before-writes see
+// exactly the flat array's initial state).  Hot-remove frees a chunk
+// again once no host-populated flag survives the teardown, so a VM that
+// plugged high and unplugged returns the sim memory too.  Every state
+// transition is bit-identical to the flat representation — only RSS
+// changes.
+//
+// Reference stability: `page()` references are invalidated by
+// TeardownBlock of that page's block (chunk free), unlike the flat array
+// where they stayed valid-but-kHole.  All existing call sites hold Page&
+// only within one operation on an online/offline block, never across a
+// teardown.
 #ifndef SQUEEZY_MM_MEMMAP_H_
 #define SQUEEZY_MM_MEMMAP_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/mm/page.h"
@@ -25,17 +47,37 @@ enum class BlockState : uint8_t {
 class MemMap {
  public:
   // Creates the map for a guest span of `span_bytes` (rounded up to whole
-  // 128 MiB blocks).  All blocks start kAbsent.
+  // 128 MiB blocks).  All blocks start kAbsent with no chunk materialized.
   explicit MemMap(uint64_t span_bytes);
 
   MemMap(const MemMap&) = delete;
   MemMap& operator=(const MemMap&) = delete;
 
-  uint64_t span_pages() const { return pages_.size(); }
+  uint64_t span_pages() const { return span_pages_; }
   uint32_t block_count() const { return static_cast<uint32_t>(blocks_.size()); }
 
-  Page& page(Pfn pfn) { return pages_[pfn]; }
-  const Page& page(Pfn pfn) const { return pages_[pfn]; }
+  // Mutable access materializes the page's chunk on first touch (fresh
+  // pages are value-initialized: kHole, nothing populated — the flat
+  // array's initial state).
+  Page& page(Pfn pfn) {
+    const BlockIndex b = BlockOf(pfn);
+    Page* chunk = chunks_[b].get();
+    if (chunk == nullptr) {
+      chunk = Materialize(b);
+    }
+    return chunk[pfn - BlockStart(b)];
+  }
+  // Const access never materializes: an absent chunk reads as the
+  // default (hole) page.
+  const Page& page(Pfn pfn) const {
+    const Page* chunk = chunks_[BlockOf(pfn)].get();
+    return chunk != nullptr ? chunk[pfn - BlockStart(BlockOf(pfn))] : HolePage();
+  }
+
+  // Whether block b's per-page chunk is currently backed by sim memory.
+  // Full-span walkers skip unmaterialized blocks — every page there is a
+  // default hole.
+  bool BlockMaterialized(BlockIndex b) const { return chunks_[b] != nullptr; }
 
   BlockState block_state(BlockIndex b) const { return blocks_[b]; }
   void set_block_state(BlockIndex b, BlockState s) { blocks_[b] = s; }
@@ -46,7 +88,9 @@ class MemMap {
   // Hot-add: initialize the block's memmap entries (kHole -> kOffline).
   void InitBlock(BlockIndex b);
   // Hot-remove: tear down memmap entries (-> kHole).  Requires every page
-  // to be kOffline.
+  // to be kOffline.  Frees the chunk when no host_populated flag survives
+  // (the hypervisor's HotRemoveBlock clears them before tearing down, so
+  // real unplugs return the chunk's sim memory).
   void TeardownBlock(BlockIndex b);
 
   // Number of pages in the block with the given state (O(block) scan; the
@@ -67,10 +111,27 @@ class MemMap {
   // Count of blocks in each state (diagnostics).
   uint32_t CountBlocks(BlockState s) const;
 
+  // --- Materialization accounting (the per-host sim-RSS signal) ------------
+  static uint64_t ChunkBytes() { return kPagesPerBlock * sizeof(Page); }
+  uint32_t materialized_blocks() const { return materialized_; }
+  uint32_t materialized_peak_blocks() const { return materialized_peak_; }
+  uint64_t materialized_bytes() const { return materialized_ * ChunkBytes(); }
+  uint64_t materialized_peak_bytes() const { return materialized_peak_ * ChunkBytes(); }
+
  private:
-  std::vector<Page> pages_;
+  // The shared read-only target const page() resolves absent chunks to.
+  static const Page& HolePage();
+
+  Page* Materialize(BlockIndex b);
+
+  uint64_t span_pages_ = 0;
+  // One value-initialized Page[kPagesPerBlock] chunk per 128 MiB block,
+  // null until first mutable touch.
+  std::vector<std::unique_ptr<Page[]>> chunks_;
   std::vector<BlockState> blocks_;
   std::vector<uint32_t> allocated_per_block_;
+  uint32_t materialized_ = 0;
+  uint32_t materialized_peak_ = 0;
 };
 
 }  // namespace squeezy

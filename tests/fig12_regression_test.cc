@@ -33,12 +33,16 @@ constexpr uint64_t kGoldenBinPackPending = 156;
 struct SweepPoint {
   uint64_t trace_size = 0;
   uint64_t admitted = 0;
+  uint64_t routing_hash = 0;
   FleetSummary fleet;
 };
 
-SweepPoint RunCombo(PlacementPolicy placement, uint64_t host_capacity) {
-  Cluster cluster(
-      fig12::SweepConfig(ReclaimPolicy::kSqueezy, placement, host_capacity));
+SweepPoint RunCombo(PlacementPolicy placement, uint64_t host_capacity,
+                    PlacementImpl impl = PlacementImpl::kDefault) {
+  ClusterConfig cfg =
+      fig12::SweepConfig(ReclaimPolicy::kSqueezy, placement, host_capacity);
+  cfg.placement_impl = impl;
+  Cluster cluster(cfg);
   for (const FunctionSpec& spec : PaperFunctions()) {
     cluster.AddFunction(spec, fig12::kConcurrency);
   }
@@ -48,6 +52,7 @@ SweepPoint RunCombo(PlacementPolicy placement, uint64_t host_capacity) {
   cluster.RunUntil(fig12::kHorizon);
   SweepPoint p;
   p.trace_size = trace.size();
+  p.routing_hash = cluster.routing_hash();
   p.fleet = cluster.Summarize(fig12::kHorizon);
   p.admitted = trace.size() - p.fleet.unplaced_invocations;
   return p;
@@ -81,6 +86,33 @@ TEST(Fig12RegressionTest, HintedBinPackHeadlineIsLocked) {
   // hints must never make starvation worse than the plain bin-packer.
   EXPECT_LE(hinted.fleet.pending_scaleups_total, binpack.fleet.pending_scaleups_total);
   EXPECT_EQ(hinted.fleet.unplug_failures, 0u);  // Squeezy never times out here.
+}
+
+TEST(Fig12RegressionTest, PlacementImplsBothReproduceTheGoldenConstants) {
+  // The golden headline must hold under BOTH placement machineries,
+  // explicitly — not just under whatever SQUEEZY_PLACEMENT_IMPL resolves
+  // the default to.  The indexed path's exactness contract
+  // (src/cluster/host_index.h) says the recorded constants are a property
+  // of the *decisions*, never of the implementation that computes them.
+  const SweepPoint abundant = RunCombo(PlacementPolicy::kRoundRobin, GiB(512));
+  const uint64_t cap = static_cast<uint64_t>(
+      fig12::kCapacityFraction *
+      static_cast<double>(abundant.fleet.committed_peak / fig12::kHosts));
+
+  const SweepPoint scan =
+      RunCombo(PlacementPolicy::kHintedBinPack, cap, PlacementImpl::kScan);
+  const SweepPoint indexed =
+      RunCombo(PlacementPolicy::kHintedBinPack, cap, PlacementImpl::kIndexed);
+
+  EXPECT_EQ(scan.admitted, kGoldenHintedAdmitted);
+  EXPECT_EQ(scan.fleet.pending_scaleups_total, kGoldenHintedPending);
+  EXPECT_EQ(indexed.admitted, kGoldenHintedAdmitted);
+  EXPECT_EQ(indexed.fleet.pending_scaleups_total, kGoldenHintedPending);
+  // Bit-identical all the way down: the order-sensitive routing digest
+  // and the fleet book, not just the headline counters.
+  EXPECT_EQ(scan.routing_hash, indexed.routing_hash);
+  EXPECT_EQ(scan.fleet.completed_requests, indexed.fleet.completed_requests);
+  EXPECT_EQ(scan.fleet.committed_peak, indexed.fleet.committed_peak);
 }
 
 }  // namespace

@@ -91,6 +91,72 @@ TEST(MemMapTest, HostPopulatedSurvivesTeardown) {
   EXPECT_TRUE(m.page(17).host_populated);
 }
 
+TEST(MemMapTest, ConstReadsNeverMaterialize) {
+  MemMap m(GiB(1));
+  const MemMap& cm = m;
+  // A fresh map holds no chunks at all: span RSS is bounded by touch, not
+  // by span size.
+  EXPECT_EQ(m.materialized_blocks(), 0u);
+  for (Pfn pfn = 0; pfn < cm.span_pages(); pfn += kPagesPerBlock / 3) {
+    EXPECT_EQ(cm.page(pfn).state, PageState::kHole);
+    EXPECT_FALSE(cm.page(pfn).host_populated);
+  }
+  EXPECT_EQ(m.materialized_blocks(), 0u);
+  EXPECT_EQ(m.materialized_bytes(), 0u);
+  for (BlockIndex b = 0; b < m.block_count(); ++b) {
+    EXPECT_FALSE(m.BlockMaterialized(b));
+  }
+}
+
+TEST(MemMapTest, MutableTouchMaterializesOneChunk) {
+  MemMap m(GiB(1));
+  Page& p = m.page(MemMap::BlockStart(3) + 7);
+  // First mutable touch sees the flat array's initial state.
+  EXPECT_EQ(p.state, PageState::kHole);
+  EXPECT_EQ(m.materialized_blocks(), 1u);
+  EXPECT_TRUE(m.BlockMaterialized(3));
+  EXPECT_FALSE(m.BlockMaterialized(2));
+  EXPECT_EQ(m.materialized_bytes(), MemMap::ChunkBytes());
+  EXPECT_EQ(m.materialized_peak_blocks(), 1u);
+}
+
+TEST(MemMapTest, TeardownFreesChunkWhenNothingPopulated) {
+  // The real unplug path (HotRemoveBlock) clears every host_populated
+  // flag before tearing down — the chunk's sim memory must come back.
+  MemMap m(GiB(1));
+  m.InitBlock(0);
+  EXPECT_EQ(m.materialized_blocks(), 1u);
+  m.set_block_state(0, BlockState::kOffline);
+  m.TeardownBlock(0);
+  EXPECT_FALSE(m.BlockMaterialized(0));
+  EXPECT_EQ(m.materialized_blocks(), 0u);
+  EXPECT_EQ(m.materialized_peak_blocks(), 1u);  // Peak is sticky.
+  // The freed block reads as holes again and can be re-initialized.
+  const MemMap& cm = m;
+  EXPECT_EQ(cm.page(0).state, PageState::kHole);
+  m.InitBlock(0);
+  EXPECT_EQ(m.page(0).state, PageState::kOffline);
+}
+
+TEST(MemMapTest, TeardownKeepsChunkWhileHostBackingSurvives) {
+  // Population flags must survive guest-side teardown (see
+  // HostPopulatedSurvivesTeardown) — the chunk cannot be freed then.
+  MemMap m(GiB(1));
+  m.InitBlock(0);
+  m.page(17).host_populated = true;
+  m.set_block_state(0, BlockState::kOffline);
+  m.TeardownBlock(0);
+  EXPECT_TRUE(m.BlockMaterialized(0));
+  EXPECT_EQ(m.materialized_blocks(), 1u);
+}
+
+TEST(MemMapTest, CountBlockPagesOnAbsentChunk) {
+  MemMap m(GiB(1));
+  EXPECT_EQ(m.CountBlockPages(2, PageState::kHole), static_cast<uint64_t>(kPagesPerBlock));
+  EXPECT_EQ(m.CountBlockPages(2, PageState::kOffline), 0u);
+  EXPECT_EQ(m.materialized_blocks(), 0u);  // Counting must not materialize.
+}
+
 TEST(MemMapTest, OccupancyCounterStartsZero) {
   MemMap m(GiB(1));
   for (BlockIndex b = 0; b < m.block_count(); ++b) {

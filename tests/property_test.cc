@@ -999,15 +999,20 @@ inline std::string FleetDigest(Cluster& cluster, TimeNs horizon) {
 
 // One full churn run: build the fleet, run the trace with random
 // drain/undrain/pressure churn, quiesce, digest.  Every input is a pure
-// function of (impl, threads, registries, seed) — and the digest must be
-// a pure function of (registries, seed) alone.
+// function of (impl, threads, registries, seed, placement knobs) — and
+// the digest must be a pure function of (registries, seed, policy) alone:
+// neither the kernel impl, the thread count, nor the placement impl may
+// leak into it.
 inline std::string RunChurn(EventQueue::Impl impl, size_t threads, bool registries,
-                            uint64_t seed) {
+                            uint64_t seed,
+                            PlacementImpl placement_impl = PlacementImpl::kDefault,
+                            PlacementPolicy policy = PlacementPolicy::kMemoryAwareBinPack) {
   constexpr int kFunctions = 4;
   constexpr uint32_t kConcurrency = 8;
   ClusterConfig cfg;
   cfg.nr_hosts = 4;
-  cfg.placement = PlacementPolicy::kMemoryAwareBinPack;
+  cfg.placement = policy;
+  cfg.placement_impl = placement_impl;
   cfg.migration = MigrationMode::kMigrateOnDrain;
   cfg.pressure_migrate_min_pending = 1;
   cfg.shared_dep_cache = registries;
@@ -1094,6 +1099,49 @@ INSTANTIATE_TEST_SUITE_P(
     [](const testing::TestParamInfo<std::tuple<bool, uint64_t>>& param_info) {
       return std::string(std::get<0>(param_info.param) ? "registries" : "plain") +
              "_s" + std::to_string(std::get<1>(param_info.param));
+    });
+
+// --- Indexed placement fuzz: HostIndex decisions vs the snapshot scan ------------
+//
+// The placement index's whole contract is "bit-identical decisions to the
+// full O(hosts) snapshot scan" (src/cluster/host_index.h).  The same churn
+// script as the sharded fuzz — drains, undrains and pressure migrations
+// interleaved with a skewed trace, i.e. every operation that mutates the
+// index mid-run — is replayed op-for-op under PlacementImpl::kScan and
+// PlacementImpl::kIndexed for every placement policy, with the shared
+// registries both on (snapshot restores + dep-cache adoption change which
+// hosts can admit) and off.  The byte-identical fleet digest covers every
+// placement consequence: per-request logs, routing hash, migration
+// records, host books and the fleet summary.
+class IndexedVsScanPlacementFuzzTest
+    : public testing::TestWithParam<std::tuple<PlacementPolicy, bool /*registries*/>> {};
+
+TEST_P(IndexedVsScanPlacementFuzzTest, IndexedMatchesScanThroughChurn) {
+  const auto [policy, registries] = GetParam();
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    const std::string scan =
+        sharded_fuzz::RunChurn(EventQueue::Impl::kTimerWheel, 1, registries, seed,
+                               PlacementImpl::kScan, policy);
+    const std::string indexed =
+        sharded_fuzz::RunChurn(EventQueue::Impl::kTimerWheel, 1, registries, seed,
+                               PlacementImpl::kIndexed, policy);
+    EXPECT_EQ(scan, indexed)
+        << "indexed placement diverged from the snapshot scan under "
+        << PlacementPolicyName(policy) << " (registries "
+        << (registries ? "on" : "off") << ", seed " << seed << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Placements, IndexedVsScanPlacementFuzzTest,
+    testing::Combine(testing::Values(PlacementPolicy::kRoundRobin,
+                                     PlacementPolicy::kLeastCommitted,
+                                     PlacementPolicy::kMemoryAwareBinPack,
+                                     PlacementPolicy::kHintedBinPack),
+                     testing::Bool()),
+    [](const testing::TestParamInfo<std::tuple<PlacementPolicy, bool>>& param_info) {
+      return std::string(PlacementPolicyName(std::get<0>(param_info.param))) + "_" +
+             (std::get<1>(param_info.param) ? "registries" : "plain");
     });
 
 }  // namespace

@@ -39,6 +39,19 @@ rejects the constructs that silently break that property:
                        diverge from the single-queue reference.  Use an
                        ordered structure (the sharded kernel's mailbox
                        is a full EventQueue for exactly this reason).
+  index-container      a placement/candidate index declared as an
+                       unordered container or keyed on pointer values —
+                       an index's walk order IS decision order
+                       (src/cluster/host_index.h picks hosts straight off
+                       ordered-tree boundaries), so hash order or
+                       allocator addresses anywhere in an *index*-named
+                       structure (or any associative container inside an
+                       *index*-named file) turn placement into a
+                       nondeterministic function.  Flagged at the
+                       DECLARATION, like unordered-mailbox: the shape is
+                       wrong before anyone walks it.  Use ordered
+                       containers over stable value keys (host id,
+                       replica index).
 
 Escape hatches (both require a written justification):
   * inline:     ... // NOLINT(determinism): <reason>   (same line)
@@ -110,6 +123,16 @@ THREAD_ID_KEY_RES = [
 # for a queue whose drain order IS the contract).
 MAILBOX_NAME_RE = re.compile(r"mailbox|inbox|cross_shard", re.IGNORECASE)
 
+# Placement/candidate indexes must walk in a deterministic order; flagged
+# at the declaration (index-container) when the variable or the file is
+# index-named and the container is unordered or pointer-keyed.
+INDEX_NAME_RE = re.compile(r"index", re.IGNORECASE)
+# Any associative container declaration: kind, template args, variable.
+ASSOC_DECL_RE = re.compile(
+    r"std::(?P<kind>(?:unordered_)?(?:map|set|multimap|multiset))"
+    r"\s*<(?P<args>.*)>\s+(?P<name>\w+)\s*[;={(]"
+)
+
 STRING_LITERAL_RE = re.compile(r'"(?:\\.|[^"\\])*"')
 
 
@@ -148,6 +171,7 @@ def collect_unordered_names(files):
 
 
 def lint_file(relpath, lines, unordered_names, findings):
+    file_is_index = INDEX_NAME_RE.search(os.path.basename(relpath)) is not None
     iter_res = [
         re.compile(r"for\s*\(.*:\s*&?(?:this->)?(?:%s)\b" % "|".join(map(re.escape, sorted(unordered_names)))),
         re.compile(r"\b(?:%s)\s*\.\s*c?begin\s*\(" % "|".join(map(re.escape, sorted(unordered_names)))),
@@ -233,6 +257,22 @@ def lint_file(relpath, lines, unordered_names, findings):
                     "events must drain in (when, seq) order; use an ordered "
                     "structure (an EventQueue, like the sharded kernel's "
                     "mailbox shard)"))
+                break
+        for m in ASSOC_DECL_RE.finditer(code):
+            if not (file_is_index or INDEX_NAME_RE.search(m.group("name"))):
+                continue
+            unordered = m.group("kind").startswith("unordered_")
+            # Crude first-template-argument split: the fixtures and the
+            # real index keep key types comma-free.
+            pointer_keyed = "*" in m.group("args").split(",")[0]
+            if unordered or pointer_keyed:
+                line_findings.append((
+                    "index-container",
+                    "placement/candidate index with a nondeterministic "
+                    "shape: an index's walk order IS decision order; use an "
+                    "ordered container over stable value keys (host id, "
+                    "replica index — see src/cluster/host_index.h), never "
+                    "hashes or pointer keys"))
                 break
 
         for rule, message in line_findings:

@@ -89,6 +89,19 @@ class BadFixtures(unittest.TestCase):
         self.expect("bad_unordered_mailbox.cc", "unordered-mailbox", 2)
         self.expect("bad_unordered_mailbox.cc", "unordered-iteration", 0)
 
+    def test_index_container(self):
+        # Unordered index-named map, unordered set in an index-named file,
+        # pointer-keyed index-named map.  The ordered value-keyed map in
+        # the same (index-named) file stays clean.
+        self.expect("bad_index_container.cc", "index-container", 3)
+        # The pointer-keyed declaration independently trips pointer-order.
+        self.expect("bad_index_container.cc", "pointer-order", 1)
+
+    def test_index_container_variable_name_trigger(self):
+        # In a file whose name does not match, only the *index*-named
+        # variable fires; the neutral-named twin declaration does not.
+        self.expect("bad_candidate_tree.cc", "index-container", 1)
+
     def test_nolint_without_reason_is_rejected(self):
         self.expect("bad_nolint_missing_reason.cc", "nolint-missing-reason", 1)
         # The bare directive must NOT suppress the underlying finding's
@@ -107,6 +120,14 @@ class GoodFixtures(unittest.TestCase):
         code, lines = run_lint(
             "--root", TESTDATA, "--allowlist", EMPTY_ALLOWLIST,
             "good/good_mailbox.cc")
+        self.assertEqual(code, 0, lines)
+
+    def test_ordered_index_passes(self):
+        # Ordered value-keyed indexes in an index-named file are the
+        # sanctioned shape (the real host_index.h passes the same way).
+        code, lines = run_lint(
+            "--root", TESTDATA, "--allowlist", EMPTY_ALLOWLIST,
+            "good/good_index_container.cc")
         self.assertEqual(code, 0, lines)
 
     def test_justified_nolint_suppresses(self):

@@ -1,0 +1,9 @@
+// Fixture: the variable-name trigger alone — this file's name does NOT
+// match the index trigger, so only the *index*-named declaration fires.
+#include <cstdint>
+#include <unordered_map>
+
+std::unordered_map<uint32_t, uint64_t> replica_index;  // Unordered, index-named.
+// Same container shape under a neutral name: the declaration alone is
+// the unordered-iteration rule's business, not index-container's.
+std::unordered_map<uint32_t, uint64_t> replica_lookup;

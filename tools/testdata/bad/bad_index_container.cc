@@ -1,0 +1,19 @@
+// Fixture: placement/candidate indexes with a nondeterministic shape.
+// An index's walk order IS decision order — an unordered container
+// decides by hash order, a pointer-keyed one by allocator addresses —
+// so both are wrong at the declaration, before anyone even walks them.
+// (This file's name also matches the index trigger, like the real
+// src/cluster/host_index.h, so every associative declaration here is in
+// scope regardless of its variable name.)
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+struct HostRow;
+
+std::unordered_map<uint64_t, int> host_index;       // Unordered, index-named.
+std::unordered_set<uint64_t> warm_candidates;       // Unordered, index-named FILE.
+std::map<HostRow*, int> index_by_row;               // Pointer-keyed, index-named.
+// Ordered over stable value keys: the sanctioned shape, never flagged.
+std::map<uint64_t, int> committed_by_host;

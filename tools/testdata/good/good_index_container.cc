@@ -1,0 +1,15 @@
+// Fixture: the sanctioned index shapes — ordered containers over stable
+// value keys, mirroring src/cluster/host_index.h.  This file's name
+// matches the index trigger, so every declaration here is in scope and
+// must still pass.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+
+std::set<std::pair<uint64_t, size_t>> available_index;
+std::map<uint64_t, uint32_t> pressure_index;
+
+size_t FirstCandidate() {
+  return available_index.empty() ? 0 : available_index.begin()->second;
+}
